@@ -1,0 +1,76 @@
+"""Ablation: speedup/energy vs accelerated fraction X and the crossover.
+
+Supports the Sec. II.C sensitivity discussion: how much of an
+application must be CIM-accelerable before the architecture pays off,
+and where the delay crossover sits as a function of miss rate.  ("it
+has been shown that at least 30% of a database application could be
+accelerated using computation-in-memory".)
+"""
+
+import numpy as np
+
+from repro.arch import miss_rate_sweep, offload_sweep
+from repro.core import format_table
+
+
+def _offload_table() -> str:
+    fractions = np.round(np.arange(0.1, 1.0, 0.1), 2)
+    sections = []
+    for m in (0.2, 0.5, 0.8):
+        rows = [
+            (
+                f"{row['x_fraction']:.1f}",
+                f"{row['speedup']:.2f}x",
+                f"{row['energy_gain']:.2f}x",
+            )
+            for row in offload_sweep(fractions, m1=m, m2=m)
+        ]
+        sections.append(
+            format_table(
+                ("X", "speedup", "energy gain"),
+                rows,
+                title=f"Offload sweep at L1 = L2 miss = {m}:",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def _crossover_table() -> str:
+    """Smallest miss rate (m1 = m2) where the CIM system is faster."""
+    rows = []
+    for x in (0.3, 0.6, 0.9):
+        crossover = None
+        for m in np.linspace(0, 1, 101):
+            (row,) = offload_sweep([x], m1=float(m), m2=float(m))
+            if row["speedup"] >= 1.0:
+                crossover = float(m)
+                break
+        rows.append(
+            (f"{int(x * 100)}%", "never" if crossover is None else f"{crossover:.2f}")
+        )
+    return format_table(
+        ("accelerated X", "miss-rate crossover (CIM faster beyond)"),
+        rows,
+        title="Delay crossover (m1 = m2 sweep):",
+    )
+
+
+def test_ablation_offload_fraction(benchmark, write_result):
+    rows = benchmark(
+        offload_sweep, np.round(np.arange(0.1, 1.0, 0.1), 2), 0.8, 0.8
+    )
+
+    speedups = [row["speedup"] for row in rows]
+    gains = [row["energy_gain"] for row in rows]
+    assert speedups == sorted(speedups)
+    assert gains == sorted(gains)
+    # The Sec. II.C data point: X = 30 % at database-like miss rates pays.
+    x30 = next(row for row in rows if abs(row["x_fraction"] - 0.3) < 1e-9)
+    assert x30["speedup"] > 1.0 and x30["energy_gain"] > 1.0
+    # Energy pays off everywhere, delay only beyond the crossover.
+    low_miss = miss_rate_sweep(0.3)
+    assert low_miss.cim_ever_slower and not low_miss.cim_ever_costlier
+
+    write_result(
+        "ablation_offload", _offload_table() + "\n\n" + _crossover_table()
+    )

@@ -1,0 +1,90 @@
+"""Ablation: converter resolution and device noise vs application quality.
+
+Sec. IV.A.2 names "the lack of precision associated with the analog
+multiplication as well as the quantization of the input and
+activations as dictated by the DAC/ADC resolution" as the key
+challenge.  This ablation sweeps ADC resolution and PCM noise and
+measures (a) AMP recovery NMSE and (b) crossbar MVM error.
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.crossbar import CrossbarOperator
+from repro.devices import PcmDevice
+from repro.signal import CsProblem, amp_recover
+
+
+def _mvm_error(adc_bits, device, seed):
+    rng = np.random.default_rng(0)
+    matrix = rng.standard_normal((96, 128))
+    operator = CrossbarOperator(
+        matrix, device=device, dac_bits=8, adc_bits=adc_bits, seed=seed
+    )
+    x = rng.standard_normal(128)
+    exact = matrix @ x
+    return float(np.linalg.norm(operator.matvec(x) - exact) / np.linalg.norm(exact))
+
+
+def _amp_nmse(adc_bits, device, seed):
+    problem = CsProblem.generate(n=192, m=96, k=8, seed=11)
+    operator = CrossbarOperator(
+        problem.matrix, device=device, dac_bits=8, adc_bits=adc_bits, seed=seed
+    )
+    result = amp_recover(
+        problem.measurements,
+        operator,
+        problem.n,
+        iterations=25,
+        ground_truth=problem.signal,
+    )
+    return result.final_nmse
+
+
+def _adc_sweep() -> tuple[str, list[float]]:
+    device = PcmDevice()
+    rows, errors = [], []
+    for bits in (2, 4, 6, 8, None):
+        err = _mvm_error(bits, device, seed=3)
+        nmse = _amp_nmse(bits, device, seed=4)
+        errors.append(err)
+        rows.append(
+            ("ideal" if bits is None else str(bits), f"{err:.3f}", f"{nmse:.2e}")
+        )
+    table = format_table(
+        ("ADC bits", "MVM rel. error", "AMP final NMSE"),
+        rows,
+        title="ADC resolution sweep (default PCM device):",
+    )
+    return table, errors
+
+
+def _noise_sweep() -> tuple[str, list[float]]:
+    rows, errors = [], []
+    for sigma in (0.0, 0.01, 0.03, 0.1):
+        device = PcmDevice(prog_noise_sigma=sigma, read_noise_sigma=sigma)
+        err = _mvm_error(None, device, seed=5)
+        nmse = _amp_nmse(None, device, seed=6)
+        errors.append(err)
+        rows.append((f"{sigma:.2f}", f"{err:.3f}", f"{nmse:.2e}"))
+    table = format_table(
+        ("device sigma", "MVM rel. error", "AMP final NMSE"),
+        rows,
+        title="PCM noise sweep (ideal converters):",
+    )
+    return table, errors
+
+
+def test_ablation_precision(benchmark, write_result):
+    adc_table, adc_errors = _adc_sweep()
+    noise_table, noise_errors = _noise_sweep()
+
+    # Error must fall with resolution and rise with device noise.
+    assert adc_errors[0] > adc_errors[-1]
+    assert noise_errors == sorted(noise_errors)
+    # Noiseless device leaves only the 8-bit DAC quantization (<1%).
+    assert noise_errors[0] < 0.01
+
+    benchmark(_mvm_error, 8, PcmDevice(), 7)
+
+    write_result("ablation_precision", adc_table + "\n\n" + noise_table)

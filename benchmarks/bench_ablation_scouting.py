@@ -1,0 +1,84 @@
+"""Ablation: Scouting-Logic sensing margins vs device quality.
+
+The OR/AND/XOR references of Fig. 2(c) sit between current levels whose
+separation shrinks as the R_H/R_L ratio falls or device noise grows.
+This ablation measures gate bit-error rates across that space —
+quantifying when in-memory bitwise computing stops being reliable.
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.devices import BinaryMemristor
+from repro.logic import ScoutingLogic
+
+
+def _gate_error_rate(device, op, n_bits=8192, seed=0):
+    logic = ScoutingLogic(device, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    bits = rng.integers(0, 2, size=(2, n_bits), dtype=np.uint8)
+    expected = {
+        "or": bits[0] | bits[1],
+        "and": bits[0] & bits[1],
+        "xor": bits[0] ^ bits[1],
+    }[op]
+    observed = logic.compute_on_bits(op, bits)
+    return float(np.count_nonzero(observed != expected) / n_bits)
+
+
+def _ratio_sweep() -> tuple[str, dict[float, float]]:
+    rows = []
+    xor_errors = {}
+    for ratio in (2, 5, 10, 100):
+        device = BinaryMemristor(
+            r_low=10e3, r_high=10e3 * ratio, variability=0.1, read_noise=0.05
+        )
+        error_rates = [
+            _gate_error_rate(device, op, seed=3) for op in ("or", "and", "xor")
+        ]
+        xor_errors[ratio] = error_rates[2]
+        rows.append(
+            (f"{ratio}x", *[f"{e:.4f}" for e in error_rates])
+        )
+    table = format_table(
+        ("R_H/R_L", "OR errors", "AND errors", "XOR errors"),
+        rows,
+        title="Gate bit-error rate vs resistance ratio (10% var, 5% read noise):",
+    )
+    return table, xor_errors
+
+
+def _noise_sweep() -> tuple[str, list[float]]:
+    rows, xor_errors = [], []
+    for noise in (0.01, 0.05, 0.1, 0.2):
+        device = BinaryMemristor(variability=noise, read_noise=noise)
+        error_rates = [
+            _gate_error_rate(device, op, seed=4) for op in ("or", "and", "xor")
+        ]
+        xor_errors.append(error_rates[2])
+        rows.append((f"{noise:.2f}", *[f"{e:.4f}" for e in error_rates]))
+    table = format_table(
+        ("device noise", "OR errors", "AND errors", "XOR errors"),
+        rows,
+        title="Gate bit-error rate vs device noise (100x ratio):",
+    )
+    return table, xor_errors
+
+
+def test_ablation_scouting_margins(benchmark, write_result):
+    ratio_table, ratio_errors = _ratio_sweep()
+    noise_table, noise_errors = _noise_sweep()
+
+    # Wide-ratio devices compute reliably; a 2x ratio degrades by
+    # orders of magnitude (overlapping current levels).
+    assert ratio_errors[100] < 0.01
+    assert ratio_errors[2] > 0.01
+    assert ratio_errors[2] > 10 * ratio_errors[100]
+    # Error rate grows monotonically with device noise.
+    assert noise_errors[0] <= noise_errors[-1]
+    assert noise_errors[0] < 1e-3
+
+    device = BinaryMemristor()
+    benchmark(_gate_error_rate, device, "xor", 1024, 5)
+
+    write_result("ablation_scouting", ratio_table + "\n\n" + noise_table)

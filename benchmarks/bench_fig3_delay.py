@@ -1,0 +1,26 @@
+"""Fig. 3: normalized delay planes, conventional vs CIM architecture.
+
+Regenerates the three subplots (X = 30/60/90 %, PS ~= 32 GB) and
+asserts the published anchors: peak normalized delay ~1.5 / ~4 / ~30,
+speedup "up to 35x", and CIM slower than conventional at low miss rates
+when X = 30 %.
+"""
+
+from repro.experiments import fig3_report
+
+
+def test_fig3_delay_planes(benchmark, write_result):
+    result = benchmark(fig3_report)
+    metrics = result.metrics
+
+    assert 1.2 <= metrics["conv_peak_x30"] <= 2.2  # paper axis ~1.5
+    assert metrics["cim_ever_slower_x30"] == 1.0
+    assert 3.0 <= metrics["conv_peak_x60"] <= 6.5  # paper axis ~4
+    assert 20.0 <= metrics["max_speedup_x90"] <= 40.0  # "up to 35x"
+    assert (
+        metrics["max_speedup_x30"]
+        < metrics["max_speedup_x60"]
+        < metrics["max_speedup_x90"]
+    )
+
+    write_result("fig3_delay", result.text)

@@ -1,0 +1,24 @@
+"""Fig. 4: normalized energy planes, conventional vs CIM architecture.
+
+Published anchors asserted: CIM energy is lower everywhere ("always
+lower, irrespective of the cache miss rates"); conventional consumes
+~6x more at X = 30 %, growing to ~two orders of magnitude at X = 90 %.
+"""
+
+from repro.experiments import fig4_report
+
+
+def test_fig4_energy_planes(benchmark, write_result):
+    result = benchmark(fig4_report)
+    metrics = result.metrics
+
+    assert metrics["cim_ever_costlier"] == 0.0  # CIM always lower
+    assert 4.0 <= metrics["max_energy_gain_x30"] <= 9.0  # "6x more"
+    assert 70.0 <= metrics["max_energy_gain_x90"] <= 250.0  # "two orders"
+    assert (
+        metrics["max_energy_gain_x30"]
+        < metrics["max_energy_gain_x60"]
+        < metrics["max_energy_gain_x90"]
+    )
+
+    write_result("fig4_energy", result.text)

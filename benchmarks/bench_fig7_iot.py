@@ -1,0 +1,36 @@
+"""Fig. 7(b): IoT inference energy — CIM vs sub-Vth and nominal M0.
+
+Regenerates the published series (energy per N x N fully-connected
+layer, N in {32..512}) and the Sec. IV.A limited-precision accuracy
+claim on a trained, quantized network executed on simulated crossbars.
+The benchmarked kernel is one analog inference.
+"""
+
+from repro.energy import iot_energy_rows
+from repro.experiments import fig7_report
+from repro.ml.nn import CimNetwork, Sequential, quantize_network, train_classifier
+from repro.workloads import SensoryTask
+
+
+def test_fig7_iot_inference(benchmark, write_result):
+    rows = iot_energy_rows()
+    # Shape claims of the figure: strict platform ordering everywhere,
+    # one decade between M0 points, axis span 1e-11 .. 1e-3 J.
+    for row in rows:
+        assert row["cim_4bit_adc_j"] < row["sub_vth_m0_j"] < row["vnom_m0_j"]
+
+    result = fig7_report(seed=0)
+    metrics = result.metrics
+    assert metrics["cim_gain_n512"] > 1e3
+    assert metrics["cim_energy_n32"] < 1e-10
+    assert metrics["vnom_energy_n512"] > 1e-5
+    assert metrics["cim_accuracy"] >= metrics["software_accuracy"] - 0.12
+
+    task = SensoryTask(n_features=32, n_classes=6, separation=2.6, seed=0)
+    x_train, y_train, x_test, _ = task.train_test_split(600, 150, seed=1)
+    network = Sequential.mlp([32, 48, 6], seed=2)
+    train_classifier(network, x_train, y_train, epochs=25, seed=3)
+    cim = CimNetwork(quantize_network(network, 4), seed=4)
+    benchmark(cim.forward_one, x_test[0])
+
+    write_result("fig7_iot", result.text)

@@ -1,0 +1,34 @@
+"""Fig. 8 / Sec. IV.B: HD computing, software vs CIM accuracy.
+
+Regenerates both Fig. 8 applications (21-language identification,
+5-class EMG gestures) and asserts the paper's claim that "the CIM
+architecture can deliver comparable accuracies to the ideal software
+simulations".  The benchmarked kernel is one CIM associative-memory
+query.
+"""
+
+from repro.experiments import fig8_report
+from repro.ml.hd import LanguageRecognizer
+from repro.ml.hd.cim import CimAssociativeMemory
+from repro.workloads import LanguageCorpus
+
+
+def test_fig8_hd_accuracy(benchmark, write_result):
+    result = fig8_report(d=4096, seed=0)
+    metrics = result.metrics
+
+    assert metrics["language_software"] >= 0.9
+    assert metrics["language_cim"] >= metrics["language_software"] - 0.1
+    assert metrics["emg_software"] >= 0.8
+    assert metrics["emg_cim"] >= metrics["emg_software"] - 0.15
+
+    # Benchmark one CIM associative-memory query on a small recognizer.
+    corpus = LanguageCorpus(n_languages=6, seed=1)
+    texts, labels = corpus.dataset(2, 800, seed=2)
+    recognizer = LanguageRecognizer(d=2048, ngram=3, seed=0)
+    recognizer.fit(texts, labels)
+    memory = CimAssociativeMemory(recognizer.memory, seed=6)
+    query = recognizer.encoder.encode("the quick brown fox jumps over the lazy dog")
+    benchmark(memory.classify, query)
+
+    write_result("fig8_hd", result.text)

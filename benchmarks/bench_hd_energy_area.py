@@ -1,0 +1,21 @@
+"""Sec. IV.B.3: CIM HD processor vs 65 nm CMOS — area and energy.
+
+Asserts the published aggregate numbers: ~9x area and ~5x energy
+improvement for the full design, and two-to-three orders of magnitude
+when only the replaceable modules are counted.
+"""
+
+import pytest
+
+from repro.experiments import hd_asic_report
+
+
+def test_hd_energy_area(benchmark, write_result):
+    result = benchmark(hd_asic_report)
+    metrics = result.metrics
+
+    assert metrics["area_improvement"] == pytest.approx(9.0, rel=0.05)
+    assert metrics["energy_improvement"] == pytest.approx(5.0, rel=0.05)
+    assert 1e2 <= metrics["replaceable_energy_improvement"] <= 1e3
+
+    write_result("hd_energy_area", result.text)

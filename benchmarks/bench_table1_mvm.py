@@ -1,0 +1,36 @@
+"""Table I: FPGA dot-product engine vs PCM crossbar, 1024x1024 MVM.
+
+Asserts the published numbers exactly (they are closed-form over the
+paper's constants): 133 cycles / 665 ns / 17.7 uJ on the FPGA; 222 mW,
+222 nJ, 0.332 mm^2, 120x power and 80x energy for the crossbar.  The
+benchmarked kernel is one analog MVM through the simulated operator
+(256x256 instance, sized for benchmark runtime).
+"""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarOperator
+from repro.experiments import table1_report
+
+
+def test_table1_mvm_energy(benchmark, write_result):
+    result = table1_report()
+    metrics = result.metrics
+
+    assert metrics["fpga_latency_ns"] == pytest.approx(665.0)
+    assert metrics["fpga_energy_uj"] == pytest.approx(17.7, rel=0.01)
+    assert metrics["crossbar_power_w"] == pytest.approx(0.222, rel=0.01)
+    assert metrics["crossbar_energy_nj"] == pytest.approx(222.0, rel=0.01)
+    assert metrics["crossbar_area_mm2"] == pytest.approx(0.332, rel=0.01)
+    assert metrics["power_advantage"] == pytest.approx(120.0, rel=0.02)
+    assert metrics["energy_advantage"] == pytest.approx(80.0, rel=0.02)
+
+    rng = np.random.default_rng(0)
+    matrix = rng.standard_normal((256, 256))
+    operator = CrossbarOperator(matrix, seed=1)
+    x = rng.standard_normal(256)
+    observed = benchmark(operator.matvec, x)
+    assert np.linalg.norm(observed - matrix @ x) / np.linalg.norm(matrix @ x) < 0.15
+
+    write_result("table1_mvm", result.text)

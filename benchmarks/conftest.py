@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper,
+prints it, and writes it to ``benchmarks/results/<name>.txt`` so the
+output survives pytest's capture (run with ``--benchmark-only``).
+EXPERIMENTS.md records the paper-vs-measured comparison per file.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    """Persist one experiment's regenerated rows to the results dir."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _write

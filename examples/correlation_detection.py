@@ -1,0 +1,56 @@
+"""CIM-Array computing: temporal correlation detection inside PCM cells.
+
+The paper distinguishes CIM-Array (result produced *inside* the memory
+array) from CIM-Periphery and cites temporal correlation detection with
+computational phase-change memory (its reference [4]) as the CIM-A
+exemplar.  This demo finds the mutually correlated subset among 64
+binary processes: every active process sends its device a partial-SET
+pulse modulated by the collective activity, so correlation literally
+crystallizes — the answer is read out as a conductance threshold.
+
+Run:  python examples/correlation_detection.py
+"""
+
+import numpy as np
+
+from repro.analytics import CorrelatedProcesses, TemporalCorrelationDetector
+from repro.core import format_table
+
+N_PROCESSES = 64
+N_CORRELATED = 12
+STEPS = 3000
+
+processes = CorrelatedProcesses(
+    N_PROCESSES, correlated=N_CORRELATED, correlation=0.7, rate=0.05, seed=1
+)
+print(
+    f"{N_PROCESSES} binary processes at 5% rate; "
+    f"{N_CORRELATED} share latent correlation c = 0.7"
+)
+
+detector = TemporalCorrelationDetector(N_PROCESSES, seed=2)
+detector.run(processes.run(STEPS))
+
+report = detector.detect()
+truth = set(int(i) for i in processes.correlated_indices)
+found = set(int(i) for i in report.detected)
+
+conductances = report.conductances * 1e6
+in_group = conductances[list(truth)]
+out_group = conductances[[i for i in range(N_PROCESSES) if i not in truth]]
+print()
+print(format_table(
+    ("device group", "mean G [uS]", "min [uS]", "max [uS]"),
+    [
+        ("correlated", f"{in_group.mean():.2f}", f"{in_group.min():.2f}",
+         f"{in_group.max():.2f}"),
+        ("uncorrelated", f"{out_group.mean():.2f}", f"{out_group.min():.2f}",
+         f"{out_group.max():.2f}"),
+    ],
+    title=f"Conductances after {STEPS} steps of in-array accumulation:",
+))
+print(f"\nreadout threshold: {report.threshold * 1e6:.2f} uS")
+print(f"detected set == ground truth: {found == truth}")
+scores = report.scores(processes.correlated_indices)
+print(f"precision {scores['precision']:.2f}  recall {scores['recall']:.2f}  "
+      f"F1 {scores['f1']:.2f}")

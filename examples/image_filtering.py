@@ -1,0 +1,61 @@
+"""Guided vs bilateral filtering and the CIM-P access model (Sec. III.A).
+
+Builds a noisy edge+texture test image, applies both edge-preserving
+filters (Fig. 5), quantifies edge preservation vs noise suppression,
+and compares the memory traffic of the neighbourhood gather on a
+conventional scratchpad against a CIM-P array with a modified address
+decoder — the paper's proposed mapping for the 7x7..11x11 windows.
+
+Run:  python examples/image_filtering.py
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.imaging import NeighborhoodAccessModel, bilateral_filter, guided_filter
+from repro.workloads import add_gaussian_noise, edge_texture_image
+
+# --- image and filters ---------------------------------------------------------
+clean = edge_texture_image(96, 96, texture_amplitude=0.0, seed=0)
+noisy = add_gaussian_noise(
+    edge_texture_image(96, 96, texture_amplitude=0.06, seed=0), 0.04, seed=1
+)
+
+guided = guided_filter(noisy, radius=4, eps=0.02)
+bilateral = bilateral_filter(noisy, radius=4, sigma_spatial=2.5, sigma_range=0.15)
+
+
+def report(name, image):
+    residual_noise = float(np.std(image - clean))
+    width = image.shape[1]
+    edge = float(np.mean(image[:, width // 2 + 1] - image[:, width // 2 - 2]))
+    return name, f"{residual_noise:.4f}", f"{edge:.3f}"
+
+
+rows = [report("noisy input", noisy), report("guided filter", guided),
+        report("bilateral filter", bilateral)]
+print(format_table(
+    ("image", "residual noise (std)", "edge contrast"),
+    rows,
+    title="Fig. 5 behaviour: smooth the texture, keep the edge:",
+))
+
+# --- CIM-P access model -----------------------------------------------------------
+model = NeighborhoodAccessModel(bits_per_pixel=24)
+access_rows = [
+    (
+        f"{row['window']}x{row['window']}",
+        f"{row['conventional_accesses']:.2e}",
+        f"{row['cim_activations']:.2e}",
+        f"{row['conventional_energy_j'] * 1e6:.2f}",
+        f"{row['cim_energy_j'] * 1e6:.2f}",
+        f"{row['energy_gain']:.1f}x",
+    )
+    for row in model.comparison_rows(96, 96, radii=(3, 4, 5))
+]
+print()
+print(format_table(
+    ("window", "SRAM accesses", "CIM activations", "conv uJ", "CIM uJ", "gain"),
+    access_rows,
+    title="Neighbourhood gather on 96x96 (Sec. III.A access model):",
+))

@@ -1,0 +1,55 @@
+"""In-memory arithmetic beyond single gates: adder and linear solver.
+
+Two extensions the paper builds on:
+
+* the **bit-serial parallel adder** of its reference [16] — additions
+  across hundreds of lanes sharing one short sequence of
+  Scouting-Logic instructions;
+* **mixed-precision in-memory computing** of its reference [22] — a
+  noisy crossbar inner solver wrapped in an exact digital refinement
+  loop that reaches float64 accuracy.
+
+Run:  python examples/in_memory_arithmetic.py
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.crossbar import CrossbarOperator, MixedPrecisionSolver, spd_test_system
+from repro.logic import BitSerialAdder
+
+# --- bit-serial adder ---------------------------------------------------------
+rng = np.random.default_rng(0)
+lanes = 512
+adder = BitSerialAdder(width=lanes, bits=8, seed=1)
+a = rng.integers(0, 256, lanes, dtype=np.uint64)
+b = rng.integers(0, 256, lanes, dtype=np.uint64)
+sums, carry = adder.add(a, b)
+assert np.array_equal(sums, (a + b) % 256)
+print(
+    f"{lanes} parallel 8-bit additions in {adder.ops_per_add} CIM instructions "
+    f"({adder.ops_per_add * 10} ns) — "
+    f"{lanes / (adder.ops_per_add * 10e-9) / 1e9:.1f} G additions/s per array"
+)
+
+# --- mixed-precision solver ------------------------------------------------------
+matrix, rhs = spd_test_system(64, seed=2)
+operator = CrossbarOperator(matrix, seed=3)
+solver = MixedPrecisionSolver(matrix, operator=operator, inner_iterations=8)
+
+mixed = solver.solve(rhs, outer_iterations=40, tolerance=1e-9)
+analog_only = solver.analog_only_solve(rhs, iterations=80)
+
+print()
+print(format_table(
+    ("solver", "final relative residual"),
+    [
+        ("analog crossbar only (Richardson)", f"{analog_only.final_residual:.2e}"),
+        ("mixed precision (digital refinement)", f"{mixed.final_residual:.2e}"),
+    ],
+    title="Solving Ax=b (n=64) with a ~5%-precision analog MVM engine:",
+))
+print(
+    f"\nmixed-precision loop converged in {mixed.iterations} outer rounds; "
+    f"{operator.n_matvec} of the MVMs ran in the analog domain"
+)

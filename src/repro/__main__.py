@@ -1,0 +1,71 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list              # show available experiments
+    python -m repro run fig3          # regenerate one experiment
+    python -m repro run all           # regenerate everything
+    python -m repro run fig6 -o out/  # also write <out>/fig6.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import REGISTRY
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in REGISTRY)
+    print("available experiments:")
+    for name, (description, _) in REGISTRY.items():
+        print(f"  {name.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_run(names: list[str], out_dir: str | None) -> int:
+    if names == ["all"]:
+        names = list(REGISTRY)
+    unknown = [name for name in names if name not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("run 'python -m repro list' to see the registry", file=sys.stderr)
+        return 2
+    for name in names:
+        _, report_fn = REGISTRY[name]
+        result = report_fn()
+        print(result.text)
+        print()
+        if out_dir is not None:
+            path = Path(out_dir)
+            path.mkdir(parents=True, exist_ok=True)
+            target = path / f"{name}.txt"
+            target.write_text(result.text + "\n")
+            print(f"[written to {target}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of Hamdioui et al., DATE 2019.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "names", nargs="+", help="experiment names (or 'all')"
+    )
+    run_parser.add_argument(
+        "-o", "--out", default=None, help="directory to write <name>.txt files"
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args.names, args.out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

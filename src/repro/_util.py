@@ -1,0 +1,120 @@
+"""Shared utilities: validation helpers, RNG handling and small math.
+
+Every stochastic component in the library accepts a ``seed`` argument
+that may be ``None`` (fresh entropy), an integer, or an existing
+:class:`numpy.random.Generator`; :func:`as_rng` normalizes all three.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_rng",
+    "check_positive",
+    "check_fraction",
+    "check_in",
+    "check_shape",
+    "nmse",
+    "nmse_db",
+    "hamming_distance",
+    "normalized_hamming",
+    "bits_to_bytes",
+    "bytes_to_bits",
+]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (OS entropy), an ``int`` (deterministic
+    stream) or an existing generator (returned unchanged so callers can
+    share one stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: object, allowed: Iterable[object]) -> object:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Raise ``ValueError`` unless ``array.shape`` equals ``shape``."""
+    if tuple(array.shape) != tuple(shape):
+        raise ValueError(f"{name} must have shape {tuple(shape)}, got {array.shape}")
+    return array
+
+
+def nmse(estimate: np.ndarray, reference: np.ndarray) -> float:
+    """Normalized mean squared error ``||est - ref||^2 / ||ref||^2``."""
+    estimate = np.asarray(estimate, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    denom = float(np.sum(reference**2))
+    if denom == 0.0:
+        raise ValueError("reference signal has zero energy")
+    return float(np.sum((estimate - reference) ** 2)) / denom
+
+
+def nmse_db(estimate: np.ndarray, reference: np.ndarray) -> float:
+    """NMSE expressed in decibels (more negative is better)."""
+    value = nmse(estimate, reference)
+    if value == 0.0:
+        return float("-inf")
+    return 10.0 * float(np.log10(value))
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions where binary vectors ``a`` and ``b`` differ."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def normalized_hamming(a: np.ndarray, b: np.ndarray) -> float:
+    """Hamming distance divided by the vector length (in [0, 1])."""
+    a = np.asarray(a)
+    if a.size == 0:
+        raise ValueError("empty vectors have no normalized Hamming distance")
+    return hamming_distance(a, b) / a.size
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Expand ``bytes`` into a ``uint8`` bit vector (MSB first)."""
+    raw = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(raw)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a bit vector (MSB first) back into ``bytes``.
+
+    The length of ``bits`` must be a multiple of 8 so the round trip
+    with :func:`bytes_to_bits` is exact.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1 or bits.size % 8 != 0:
+        raise ValueError("bits must be a 1-D vector with length divisible by 8")
+    return np.packbits(bits).tobytes()

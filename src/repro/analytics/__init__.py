@@ -1,0 +1,31 @@
+"""Data-analytics kernels of Sec. II (systems S5, S6).
+
+* :class:`BitmapIndex` — bitmap (bin) representation of a table
+  (Fig. 2b), the data layout the CIM core stores.
+* :class:`QuerySelect` — conjunctive bitmap queries (TPC-H query-06)
+  executed either on the CPU or inside a
+  :class:`~repro.logic.BitwiseEngine` via Scouting Logic.
+* :mod:`repro.analytics.xor_cipher` — one-time-pad XOR encryption on
+  both backends.
+"""
+
+from repro.analytics.bitmap import BitmapIndex
+from repro.analytics.correlation import (
+    CorrelatedProcesses,
+    TemporalCorrelationDetector,
+)
+from repro.analytics.query import QuerySelect, tpch_query6
+from repro.analytics.xor_cipher import (
+    XorCipherCim,
+    xor_cipher_reference,
+)
+
+__all__ = [
+    "BitmapIndex",
+    "CorrelatedProcesses",
+    "QuerySelect",
+    "TemporalCorrelationDetector",
+    "XorCipherCim",
+    "tpch_query6",
+    "xor_cipher_reference",
+]

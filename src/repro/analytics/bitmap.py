@@ -1,0 +1,121 @@
+"""Bitmap index: the CIM-resident database representation (Fig. 2b).
+
+A bitmap index encodes a table column-wise into *bins*: each bin is one
+row of zeros/ones marking which entries satisfy the bin's predicate
+("distance is far", "discount = 0.06", ...).  Queries then reduce to
+bitwise AND/OR across bin rows — precisely the operations Scouting
+Logic performs inside the memory array.
+
+Bitmap indexes "generally work well for low-cardinality columns"
+(Sec. II.A); the range-bin helpers below implement the common
+equality-encoded scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitmapIndex"]
+
+
+class BitmapIndex:
+    """An ordered collection of named bit rows over ``n_entries``.
+
+    Parameters
+    ----------
+    n_entries:
+        Number of table entries (columns of the bitmap, Fig. 2b).
+    entry_labels:
+        Optional display labels for the entries (e.g. star names A..H).
+    """
+
+    def __init__(self, n_entries: int, entry_labels: list[str] | None = None) -> None:
+        if n_entries < 1:
+            raise ValueError("n_entries must be >= 1")
+        if entry_labels is not None and len(entry_labels) != n_entries:
+            raise ValueError("entry_labels length must equal n_entries")
+        self.n_entries = n_entries
+        self.entry_labels = list(entry_labels) if entry_labels else None
+        self._labels: list[str] = []
+        self._rows: list[np.ndarray] = []
+
+    # -- construction -------------------------------------------------------
+    def add_bin(self, label: str, mask: np.ndarray) -> None:
+        """Append one bin row from a boolean/binary mask."""
+        if label in self._labels:
+            raise ValueError(f"bin {label!r} already exists")
+        mask = np.asarray(mask)
+        if mask.shape != (self.n_entries,):
+            raise ValueError(f"mask must have shape ({self.n_entries},)")
+        self._labels.append(label)
+        self._rows.append((mask != 0).astype(np.uint8))
+
+    def add_equality_bins(self, column_name: str, values: np.ndarray) -> list[str]:
+        """One bin per distinct value of a low-cardinality column.
+
+        Returns the labels added, formatted ``"column=value"``.
+        """
+        values = np.asarray(values)
+        if values.shape != (self.n_entries,):
+            raise ValueError(f"values must have shape ({self.n_entries},)")
+        labels = []
+        for value in np.unique(values):
+            label = f"{column_name}={value}"
+            self.add_bin(label, values == value)
+            labels.append(label)
+        return labels
+
+    def add_range_bins(
+        self, column_name: str, values: np.ndarray, edges: list[float]
+    ) -> list[str]:
+        """Bins for consecutive half-open ranges ``[e_i, e_{i+1})``.
+
+        Returns the labels added, formatted ``"column=[lo,hi)"``.
+        """
+        if len(edges) < 2:
+            raise ValueError("need at least two edges")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("edges must be strictly ascending")
+        values = np.asarray(values)
+        labels = []
+        for low, high in zip(edges, edges[1:]):
+            label = f"{column_name}=[{low},{high})"
+            self.add_bin(label, (values >= low) & (values < high))
+            labels.append(label)
+        return labels
+
+    # -- access ------------------------------------------------------------
+    @property
+    def labels(self) -> list[str]:
+        return list(self._labels)
+
+    @property
+    def n_bins(self) -> int:
+        return len(self._labels)
+
+    def row(self, label: str) -> np.ndarray:
+        """The bit row of one bin (copy)."""
+        return self._rows[self.row_address(label)].copy()
+
+    def row_address(self, label: str) -> int:
+        """Index of a bin row — the CIM row address after loading."""
+        try:
+            return self._labels.index(label)
+        except ValueError:
+            raise KeyError(f"unknown bin {label!r}") from None
+
+    def as_matrix(self) -> np.ndarray:
+        """All bin rows stacked: shape ``(n_bins, n_entries)``, uint8."""
+        if not self._rows:
+            raise ValueError("index has no bins")
+        return np.stack(self._rows)
+
+    def entries_matching(self, mask: np.ndarray) -> list[str]:
+        """Entry labels selected by a result mask (requires labels)."""
+        if self.entry_labels is None:
+            raise ValueError("index was built without entry labels")
+        mask = np.asarray(mask)
+        return [label for label, hit in zip(self.entry_labels, mask) if hit]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BitmapIndex(bins={self.n_bins}, entries={self.n_entries})"

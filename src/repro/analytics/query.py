@@ -1,0 +1,123 @@
+"""QUERY SELECT kernel: conjunctive bitmap queries (TPC-H query-06).
+
+A query is a conjunction of *groups*; each group is a disjunction of
+bins ("discount is 0.05 OR 0.06 OR 0.07").  On the bitmap index this
+becomes one multi-input OR per group followed by one multi-input AND —
+each a single Scouting-Logic instruction inside the CIM core, versus a
+pass over the bitmaps per operation on the CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.bitmap import BitmapIndex
+from repro.devices import BinaryMemristor
+from repro.logic import BitwiseEngine
+from repro.workloads import tpch
+
+__all__ = ["QuerySelect", "tpch_query6"]
+
+
+class QuerySelect:
+    """A conjunction of OR-groups over bitmap bins.
+
+    Parameters
+    ----------
+    groups:
+        List of groups; each group is a list of bin labels.  The query
+        selects entries in the intersection of the group unions.
+    """
+
+    def __init__(self, groups: list[list[str]]) -> None:
+        if not groups or any(not group for group in groups):
+            raise ValueError("query needs at least one non-empty group")
+        self.groups = [list(group) for group in groups]
+
+    # -- CPU reference -------------------------------------------------------
+    def run_reference(self, index: BitmapIndex) -> np.ndarray:
+        """Evaluate with numpy bitwise operations (the baseline)."""
+        result: np.ndarray | None = None
+        for group in self.groups:
+            union = np.zeros(index.n_entries, dtype=np.uint8)
+            for label in group:
+                union |= index.row(label)
+            result = union if result is None else (result & union)
+        assert result is not None
+        return result
+
+    # -- CIM execution --------------------------------------------------------
+    def rows_needed(self, index: BitmapIndex) -> int:
+        """CIM rows required: all bins plus scratch for group results."""
+        return index.n_bins + len(self.groups) + 1
+
+    def run_cim(
+        self,
+        index: BitmapIndex,
+        engine: BitwiseEngine | None = None,
+        device: BinaryMemristor | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, BitwiseEngine]:
+        """Evaluate inside a bitwise CIM engine via Scouting Logic.
+
+        The index is loaded once (the paper: "this initialization needs
+        to be performed only once"); each group union is one multi-row
+        OR written to a scratch row, and the final intersection is one
+        multi-row AND.  Returns the selection mask and the engine (for
+        its operation counters).
+        """
+        if engine is None:
+            engine = BitwiseEngine(
+                n_rows=self.rows_needed(index),
+                width=index.n_entries,
+                device=device,
+                seed=seed,
+            )
+        elif engine.width != index.n_entries:
+            raise ValueError("engine width must match the index entry count")
+        engine.load(index.as_matrix())
+
+        group_rows: list[int] = []
+        scratch = index.n_bins
+        for group in self.groups:
+            addresses = [index.row_address(label) for label in group]
+            if len(addresses) == 1:
+                group_rows.append(addresses[0])
+                continue
+            engine.bitwise("or", addresses, dest=scratch)
+            group_rows.append(scratch)
+            scratch += 1
+
+        if len(group_rows) == 1:
+            mask = engine.read_row(group_rows[0])
+        else:
+            mask = engine.bitwise("and", group_rows, dest=scratch)
+        return mask, engine
+
+
+def tpch_query6(table: dict[str, np.ndarray]) -> tuple[BitmapIndex, QuerySelect]:
+    """Build the bitmap index and query plan for TPC-H query-06.
+
+    Bins: equality bins on ship year and discount, plus the two
+    quantity ranges split at the query's limit.  The returned query
+    selects ``year = 1994 AND discount in {0.05, 0.06, 0.07} AND
+    quantity < 24`` (Sec. II.A).
+    """
+    n_entries = len(table["ship_year"])
+    index = BitmapIndex(n_entries=n_entries)
+    index.add_equality_bins("ship_year", table["ship_year"])
+    index.add_equality_bins("discount", np.round(table["discount"], 2))
+    quantity_edges = [1, tpch.Q6_QUANTITY_LIMIT, int(table["quantity"].max()) + 1]
+    quantity_labels = index.add_range_bins("quantity", table["quantity"], quantity_edges)
+
+    lo = round(tpch.Q6_DISCOUNT - 0.01, 2)
+    mid = round(tpch.Q6_DISCOUNT, 2)
+    hi = round(tpch.Q6_DISCOUNT + 0.01, 2)
+    query = QuerySelect(
+        [
+            [f"ship_year={tpch.Q6_SHIP_YEAR}"],
+            [f"discount={lo}", f"discount={mid}", f"discount={hi}"],
+            [quantity_labels[0]],
+        ]
+    )
+    return index, query

@@ -1,0 +1,108 @@
+"""Analytical delay/energy model of the host + CIM architecture.
+
+In the CIM system (Fig. 1a) the large dataset lives inside the CIM
+core, so the ``x`` dataset instructions execute there at ``t_op_ns``
+apiece, amortized across the array-level parallelism; the host core
+runs only the ``1 - x`` control/compute instructions, whose small
+working set hits L1.  A residual host miss exposure is configurable
+(``host_miss_exposure``) for sensitivity studies: 0 reproduces the
+paper's flat CIM planes, 1 gives the host the same miss rates as the
+conventional machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.params import CimArchParams
+from repro._util import check_fraction
+
+__all__ = ["CimArchitectureModel"]
+
+
+class CimArchitectureModel:
+    """Delay and energy predictions for the host + CIM system."""
+
+    def __init__(
+        self,
+        params: CimArchParams | None = None,
+        host_miss_exposure: float = 0.0,
+    ) -> None:
+        self.params = params if params is not None else CimArchParams()
+        check_fraction("host_miss_exposure", host_miss_exposure)
+        self.host_miss_exposure = host_miss_exposure
+
+    def host_instruction_time_ns(
+        self, m1: np.ndarray | float, m2: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Average host-core time per control instruction (ns)."""
+        host = self.params.host
+        eff_m1 = self.host_miss_exposure * np.asarray(m1)
+        eff_m2 = self.host_miss_exposure * np.asarray(m2)
+        return host.t_hit_ns + eff_m1 * (
+            host.l2_penalty_ns + eff_m2 * host.dram_penalty_ns
+        )
+
+    def cim_instruction_time_ns(self) -> float:
+        """Amortized CIM-core time per accelerated instruction (ns)."""
+        cim = self.params.cim
+        return cim.t_op_ns / cim.parallel_width
+
+    def delay_per_instruction_ns(
+        self,
+        x_fraction: float,
+        m1: np.ndarray | float,
+        m2: np.ndarray | float,
+    ) -> np.ndarray | float:
+        """System time per instruction (ns); host and CIM serialize.
+
+        Serialization is the conservative assumption: the host issues
+        CIM macro-instructions between its own control work (Fig. 1b's
+        loop offload), so the two parts add.
+        """
+        check_fraction("x_fraction", x_fraction)
+        host_part = (1.0 - x_fraction) * self.host_instruction_time_ns(m1, m2)
+        cim_part = x_fraction * self.cim_instruction_time_ns()
+        return host_part + cim_part
+
+    def dynamic_energy_per_instruction_pj(
+        self,
+        x_fraction: float,
+        m1: np.ndarray | float,
+        m2: np.ndarray | float,
+    ) -> np.ndarray | float:
+        check_fraction("x_fraction", x_fraction)
+        host = self.params.host
+        e_hit = host.e_op_pj + host.e_l1_pj
+        eff_m1 = self.host_miss_exposure * np.asarray(m1)
+        eff_m2 = self.host_miss_exposure * np.asarray(m2)
+        e_host = e_hit + eff_m1 * (host.e_l2_pj + eff_m2 * host.e_dram_pj)
+        return (1.0 - x_fraction) * e_host + x_fraction * self.params.cim.e_op_pj
+
+    def energy_per_instruction_pj(
+        self,
+        x_fraction: float,
+        m1: np.ndarray | float,
+        m2: np.ndarray | float,
+    ) -> np.ndarray | float:
+        """Total energy per instruction (pJ): dynamic + static * delay."""
+        dynamic = self.dynamic_energy_per_instruction_pj(x_fraction, m1, m2)
+        delay_ns = self.delay_per_instruction_ns(x_fraction, m1, m2)
+        static_pj = self.params.static_w * np.asarray(delay_ns) * 1e3
+        return dynamic + static_pj
+
+    def total_delay_s(
+        self, n_instructions: float, x_fraction: float, m1: float, m2: float
+    ) -> float:
+        return float(
+            n_instructions * self.delay_per_instruction_ns(x_fraction, m1, m2) * 1e-9
+        )
+
+    def total_energy_j(
+        self, n_instructions: float, x_fraction: float, m1: float, m2: float
+    ) -> float:
+        return float(
+            n_instructions
+            * self.energy_per_instruction_pj(x_fraction, m1, m2)
+            * 1e-12
+        )

@@ -1,0 +1,112 @@
+"""Analytical delay/energy model of the conventional multicore.
+
+Instruction population (Sec. II.C): a fraction ``x`` of instructions
+are *dataset* instructions — the bit-wise/logical operations streaming
+over the multi-gigabyte problem — which traverse the cache hierarchy
+with the swept L1/L2 miss rates.  The remaining ``1 - x`` are
+control/compute instructions over small working sets that hit L1.
+
+Average time per dataset instruction (effective AMAT form)::
+
+    t_dataset = t_hit + m1 * (l2_penalty + m2 * dram_penalty)
+
+Throughput spreads over ``n_cores``; energy does not (all cores burn
+power), and static power integrates over the total delay — the paper
+attributes much of the conventional architecture's energy to "data
+movement and leakage current".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.params import ConventionalParams
+from repro._util import check_fraction
+
+__all__ = ["ConventionalArchitectureModel"]
+
+
+class ConventionalArchitectureModel:
+    """Delay and energy predictions for the baseline multicore."""
+
+    def __init__(self, params: ConventionalParams | None = None) -> None:
+        self.params = params if params is not None else ConventionalParams()
+
+    def dataset_instruction_time_ns(
+        self, m1: np.ndarray | float, m2: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Average time of one dataset instruction (single core, ns)."""
+        core = self.params.core
+        return core.t_hit_ns + np.asarray(m1) * (
+            core.l2_penalty_ns + np.asarray(m2) * core.dram_penalty_ns
+        )
+
+    def delay_per_instruction_ns(
+        self,
+        x_fraction: float,
+        m1: np.ndarray | float,
+        m2: np.ndarray | float,
+    ) -> np.ndarray | float:
+        """System-level time per instruction (ns), all cores busy."""
+        check_fraction("x_fraction", x_fraction)
+        core = self.params.core
+        mixed = (
+            x_fraction * self.dataset_instruction_time_ns(m1, m2)
+            + (1.0 - x_fraction) * core.t_hit_ns
+        )
+        return mixed / self.params.n_cores
+
+    def dynamic_energy_per_instruction_pj(
+        self,
+        x_fraction: float,
+        m1: np.ndarray | float,
+        m2: np.ndarray | float,
+    ) -> np.ndarray | float:
+        """Dynamic energy per instruction (pJ): op + hierarchy accesses."""
+        check_fraction("x_fraction", x_fraction)
+        core = self.params.core
+        e_hit = core.e_op_pj + core.e_l1_pj
+        e_dataset = e_hit + np.asarray(m1) * (
+            core.e_l2_pj + np.asarray(m2) * core.e_dram_pj
+        )
+        return x_fraction * e_dataset + (1.0 - x_fraction) * e_hit
+
+    def energy_per_instruction_pj(
+        self,
+        x_fraction: float,
+        m1: np.ndarray | float,
+        m2: np.ndarray | float,
+    ) -> np.ndarray | float:
+        """Total energy per instruction (pJ): dynamic + static * delay."""
+        dynamic = self.dynamic_energy_per_instruction_pj(x_fraction, m1, m2)
+        delay_ns = self.delay_per_instruction_ns(x_fraction, m1, m2)
+        static_pj = self.params.static_w * np.asarray(delay_ns) * 1e3  # W*ns -> pJ
+        return dynamic + static_pj
+
+    # -- absolute totals for a given problem size ---------------------------
+    @staticmethod
+    def instructions_for_problem(problem_bytes: float, bytes_per_instruction: float = 8.0) -> float:
+        """Instruction count to stream a problem of ``problem_bytes``.
+
+        One 64-bit word per dataset instruction by default; the paper's
+        sweeps use PS ~= 32 GB.
+        """
+        if problem_bytes <= 0 or bytes_per_instruction <= 0:
+            raise ValueError("problem size and word size must be positive")
+        return problem_bytes / bytes_per_instruction
+
+    def total_delay_s(
+        self, n_instructions: float, x_fraction: float, m1: float, m2: float
+    ) -> float:
+        return float(
+            n_instructions * self.delay_per_instruction_ns(x_fraction, m1, m2) * 1e-9
+        )
+
+    def total_energy_j(
+        self, n_instructions: float, x_fraction: float, m1: float, m2: float
+    ) -> float:
+        return float(
+            n_instructions
+            * self.energy_per_instruction_pj(x_fraction, m1, m2)
+            * 1e-12
+        )

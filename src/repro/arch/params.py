@@ -1,0 +1,135 @@
+"""Parameter sets for the architectural analytical models.
+
+Defaults reproduce the paper's configuration (Sec. II.C):
+
+* Conventional: Intel Xeon E5-2680-class, 4 cores @ 2.5 GHz, 32 KB L1,
+  256 KB L2 per core, 4 GB shared DRAM.
+* CIM architecture: a single host core with the same per-core
+  characteristics, 1 GB DRAM, and a CIM unit of 1,048,576 parallel
+  memory arrays (area of ~3 GB DRAM); a logical CIM instruction takes
+  ~10 ns (20 CPU cycles).
+
+Timing penalties are *effective* values: out-of-order cores overlap a
+large part of the raw miss latency via memory-level parallelism, so the
+model uses MLP-adjusted penalties calibrated against the figure anchors
+(DESIGN.md Sec. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_positive
+
+__all__ = ["CoreParams", "ConventionalParams", "CimCoreParams", "CimArchParams"]
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """One conventional CPU core with a two-level cache."""
+
+    frequency_hz: float = 2.5e9
+    t_hit_ns: float = 2.0
+    """Issue + L1-hit time per instruction (ns, MLP-adjusted)."""
+    l2_penalty_ns: float = 3.0
+    """Extra time when L1 misses and L2 hits (ns, effective)."""
+    dram_penalty_ns: float = 22.0
+    """Extra time when both caches miss (ns, effective)."""
+    e_op_pj: float = 10.0
+    """Dynamic energy of issue + ALU per instruction (pJ)."""
+    e_l1_pj: float = 40.0
+    """Dynamic energy of an L1 access (pJ)."""
+    e_l2_pj: float = 150.0
+    """Dynamic energy of an L2 access (pJ)."""
+    e_dram_pj: float = 2000.0
+    """Dynamic energy of a DRAM access (pJ)."""
+    static_w: float = 2.5
+    """Static (leakage + clock) power of one core (W)."""
+    l1_kbytes: int = 32
+    l2_kbytes: int = 256
+
+    def __post_init__(self) -> None:
+        for name in (
+            "frequency_hz",
+            "t_hit_ns",
+            "l2_penalty_ns",
+            "dram_penalty_ns",
+            "e_op_pj",
+            "e_l1_pj",
+            "e_l2_pj",
+            "e_dram_pj",
+            "static_w",
+        ):
+            check_positive(name, getattr(self, name))
+
+
+@dataclass(frozen=True)
+class ConventionalParams:
+    """The baseline multicore system (4-core Xeon-class)."""
+
+    core: CoreParams = field(default_factory=CoreParams)
+    n_cores: int = 4
+    dram_gbytes: float = 4.0
+    dram_static_w_per_gb: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        check_positive("dram_gbytes", self.dram_gbytes)
+
+    @property
+    def static_w(self) -> float:
+        """Total static power: cores plus DRAM refresh/standby."""
+        return (
+            self.n_cores * self.core.static_w
+            + self.dram_gbytes * self.dram_static_w_per_gb
+        )
+
+
+@dataclass(frozen=True)
+class CimCoreParams:
+    """The memristive CIM accelerator core."""
+
+    t_op_ns: float = 10.0
+    """Latency of one logical CIM instruction (~20 CPU cycles)."""
+    parallel_width: int = 1024
+    """Effective number of logical instructions retired concurrently.
+
+    The physical unit holds 1,048,576 parallel arrays; 1024 is a
+    conservative sustained utilization (mapping and peripheral sharing
+    prevent full-width issue every cycle).
+    """
+    n_arrays: int = 1_048_576
+    e_op_pj: float = 5.0
+    """Dynamic energy per logical CIM instruction (64-bit word; device
+    read currents plus sense-amplifier overhead)."""
+    static_w: float = 0.1
+    """Static power of the CIM unit (non-volatile arrays leak ~nothing;
+    this charges the always-on periphery)."""
+
+    def __post_init__(self) -> None:
+        check_positive("t_op_ns", self.t_op_ns)
+        if self.parallel_width < 1 or self.n_arrays < 1:
+            raise ValueError("parallel_width and n_arrays must be >= 1")
+        check_positive("e_op_pj", self.e_op_pj)
+        if self.static_w < 0:
+            raise ValueError("static_w must be non-negative")
+
+
+@dataclass(frozen=True)
+class CimArchParams:
+    """Host core + CIM accelerator system (Fig. 1a)."""
+
+    host: CoreParams = field(default_factory=CoreParams)
+    cim: CimCoreParams = field(default_factory=CimCoreParams)
+    dram_gbytes: float = 1.0
+    dram_static_w_per_gb: float = 0.25
+
+    @property
+    def static_w(self) -> float:
+        """Total static power: host core, small DRAM and CIM periphery."""
+        return (
+            self.host.static_w
+            + self.dram_gbytes * self.dram_static_w_per_gb
+            + self.cim.static_w
+        )

@@ -1,0 +1,23 @@
+"""The paper's unifying contribution (S13): CIM core as accelerator.
+
+* :class:`CimAccelerator` — the Fig. 1(a) device: an address-mapped
+  accelerator holding bit regions (bitwise CIM-P via Scouting Logic)
+  and matrix regions (analog MVM crossbars), initialized once from
+  external memory and then computed against in place.
+* :class:`OffloadedProgram` — the Fig. 1(b) execution model: a program
+  whose loop fraction X runs in the CIM core, evaluated on both
+  architecture models.
+* :mod:`repro.core.report` — plain-text table/series formatting used by
+  every benchmark to print the paper's rows.
+"""
+
+from repro.core.accelerator import CimAccelerator
+from repro.core.report import format_series, format_table
+from repro.core.system import OffloadedProgram
+
+__all__ = [
+    "CimAccelerator",
+    "OffloadedProgram",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,65 @@
+"""Plain-text tables and series: the benchmark output format.
+
+Every benchmark regenerates its figure/table as text through these
+helpers, so the paper's rows can be compared at a glance (and written
+to ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _render_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 10.0 ** (-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(("a", "b"), [(1, 2.5)]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    rendered = [[_render_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(widths):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, values: Iterable[float], precision: int = 4
+) -> str:
+    """Render one named numeric series on a single line."""
+    cells = ", ".join(_render_cell(float(v), precision) for v in values)
+    return f"{name}: [{cells}]"

@@ -1,0 +1,90 @@
+"""Program offload model: the Fig. 1(b) execution story.
+
+"Multiple loops can be executed within the CIM core while the other
+parts of the program can be executed on the conventional core."  An
+:class:`OffloadedProgram` captures a program by its instruction count,
+its accelerable fraction X and the miss rates of its dataset accesses,
+and evaluates it on both architecture models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_fraction, check_positive
+from repro.arch import CimArchitectureModel, ConventionalArchitectureModel
+
+__all__ = ["OffloadedProgram", "ExecutionReport"]
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Delay/energy of one program on both architectures."""
+
+    conventional_delay_s: float
+    cim_delay_s: float
+    conventional_energy_j: float
+    cim_energy_j: float
+
+    @property
+    def speedup(self) -> float:
+        return self.conventional_delay_s / self.cim_delay_s
+
+    @property
+    def energy_gain(self) -> float:
+        return self.conventional_energy_j / self.cim_energy_j
+
+
+@dataclass(frozen=True)
+class OffloadedProgram:
+    """A program characterized for CIM offload analysis.
+
+    Parameters
+    ----------
+    problem_bytes:
+        Dataset size streamed by the program (the paper sweeps at
+        PS ~= 32 GB).
+    x_fraction:
+        Fraction of instructions that are CIM-accelerable logical
+        operations over the dataset.
+    l1_miss_rate / l2_miss_rate:
+        Cache behaviour of the dataset instructions on the
+        conventional machine.
+    bytes_per_instruction:
+        Dataset bytes consumed per dataset instruction (64-bit words
+        by default).
+    """
+
+    problem_bytes: float = 32 * 2**30
+    x_fraction: float = 0.6
+    l1_miss_rate: float = 0.5
+    l2_miss_rate: float = 0.5
+    bytes_per_instruction: float = 8.0
+
+    def __post_init__(self) -> None:
+        check_positive("problem_bytes", self.problem_bytes)
+        check_fraction("x_fraction", self.x_fraction)
+        check_fraction("l1_miss_rate", self.l1_miss_rate)
+        check_fraction("l2_miss_rate", self.l2_miss_rate)
+        check_positive("bytes_per_instruction", self.bytes_per_instruction)
+
+    @property
+    def n_instructions(self) -> float:
+        return self.problem_bytes / self.bytes_per_instruction
+
+    def execute(
+        self,
+        conventional: ConventionalArchitectureModel | None = None,
+        cim: CimArchitectureModel | None = None,
+    ) -> ExecutionReport:
+        """Evaluate the program on both architecture models."""
+        conventional = conventional or ConventionalArchitectureModel()
+        cim = cim or CimArchitectureModel()
+        n = self.n_instructions
+        args = (self.x_fraction, self.l1_miss_rate, self.l2_miss_rate)
+        return ExecutionReport(
+            conventional_delay_s=conventional.total_delay_s(n, *args),
+            cim_delay_s=cim.total_delay_s(n, *args),
+            conventional_energy_j=conventional.total_energy_j(n, *args),
+            cim_energy_j=cim.total_energy_j(n, *args),
+        )

@@ -1,0 +1,48 @@
+"""Analog memristive crossbar simulator (substrate S2).
+
+The crossbar performs matrix-vector multiplication in the analog domain
+using Ohm's law and Kirchhoff's current summation law (Sec. III.B and
+Fig. 6 of the paper): matrix coefficients are stored as device
+conductances, input vectors are applied as voltages through DACs, and
+output currents are digitized by ADCs.
+
+Public API
+----------
+* :class:`CrossbarArray` — one physical array of PCM devices.
+* :class:`CrossbarOperator` — a signed real matrix mapped onto
+  differential device pairs with DAC/ADC interfaces and optional tiling;
+  exposes ``matvec`` (rows driven, columns read) and ``rmatvec``
+  (columns driven, rows read), exactly as the AMP mapping requires.
+* :class:`Dac` / :class:`Adc` — converter quantization models.
+* :func:`program_and_verify` — iterative conductance programming.
+"""
+
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.coding import DifferentialCoding
+from repro.crossbar.converters import Adc, Dac
+from repro.crossbar.mixed_precision import (
+    MixedPrecisionSolver,
+    SolveResult,
+    spd_test_system,
+)
+from repro.crossbar.nonidealities import apply_stuck_faults, ir_drop_factors
+from repro.crossbar.operator import CrossbarOperator, DenseOperator
+from repro.crossbar.programming import ProgrammingReport, program_and_verify
+from repro.crossbar.tile import split_ranges
+
+__all__ = [
+    "Adc",
+    "CrossbarArray",
+    "CrossbarOperator",
+    "Dac",
+    "DenseOperator",
+    "DifferentialCoding",
+    "MixedPrecisionSolver",
+    "ProgrammingReport",
+    "SolveResult",
+    "apply_stuck_faults",
+    "ir_drop_factors",
+    "program_and_verify",
+    "spd_test_system",
+    "split_ranges",
+]

@@ -1,0 +1,160 @@
+"""A single physical crossbar array of PCM devices.
+
+The array stores a non-negative conductance matrix ``G`` (rows x cols).
+Applying voltages to the rows and sensing the columns computes
+``I = G^T v`` (Kirchhoff current summation down each column); applying
+voltages to the columns and sensing the rows computes ``I = G v``.  The
+paper's AMP mapping (Fig. 6) uses both directions on the *same* array to
+obtain ``A x_t`` and ``A* z_t``.
+
+Device non-idealities (programming error, read noise, drift) come from
+the :class:`~repro.devices.PcmDevice` model; array-level effects (IR
+drop, stuck devices) live in :mod:`repro.crossbar.nonidealities`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.crossbar.nonidealities import ir_drop_factors
+from repro.devices import PcmDevice
+from repro.crossbar.programming import ProgrammingReport, program_and_verify
+
+__all__ = ["CrossbarArray"]
+
+
+class CrossbarArray:
+    """One crossbar tile of PCM devices holding non-negative conductances.
+
+    Parameters
+    ----------
+    target_conductance:
+        Desired conductance matrix in siemens, shape ``(rows, cols)``.
+        Values are clipped to the device window during programming.
+    device:
+        PCM device model; defaults to the library's standard device.
+    programming_iterations:
+        Rounds of program-and-verify used to write the array.
+    wire_resistance:
+        Per-segment interconnect resistance in ohms for the first-order
+        IR-drop model (0 disables IR drop).
+    seed:
+        RNG seed or generator for all stochastic behaviour of this array.
+    """
+
+    def __init__(
+        self,
+        target_conductance: np.ndarray,
+        device: PcmDevice | None = None,
+        programming_iterations: int = 5,
+        wire_resistance: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        target_conductance = np.asarray(target_conductance, dtype=float)
+        if target_conductance.ndim != 2:
+            raise ValueError("target_conductance must be a 2-D matrix")
+        if np.any(target_conductance < 0):
+            raise ValueError("conductances must be non-negative")
+        if wire_resistance < 0:
+            raise ValueError("wire_resistance must be non-negative")
+        self.device = device if device is not None else PcmDevice()
+        self._rng = as_rng(seed)
+        self.wire_resistance = wire_resistance
+        self.programming_report: ProgrammingReport = program_and_verify(
+            self.device,
+            target_conductance,
+            iterations=programming_iterations,
+            seed=self._rng,
+        )
+        self._g_programmed = self.programming_report.conductance
+        self.age_seconds = 0.0
+        self.n_row_reads = 0
+        self.n_col_reads = 0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._g_programmed.shape
+
+    @property
+    def rows(self) -> int:
+        return self._g_programmed.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self._g_programmed.shape[1]
+
+    @property
+    def conductance(self) -> np.ndarray:
+        """Current conductance matrix including accumulated drift."""
+        return self.device.drifted(self._g_programmed, self.age_seconds)
+
+    def advance_time(self, seconds: float) -> None:
+        """Accumulate drift time (Sec. III: PCM conductances relax)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.age_seconds += seconds
+
+    def inject_stuck_faults(
+        self,
+        fraction: float,
+        mode: str = "both",
+        seed: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Force a random device fraction to a stuck state; returns the mask.
+
+        Used by the fault-tolerance ablation: yield/endurance failures
+        leave devices stuck at RESET (``g_min``) or SET (``g_max``).
+        """
+        from repro.crossbar.nonidealities import apply_stuck_faults
+
+        faulty, mask = apply_stuck_faults(
+            self._g_programmed,
+            fraction,
+            self.device.g_min,
+            self.device.g_max,
+            mode=mode,
+            seed=seed if seed is not None else self._rng,
+        )
+        self._g_programmed = faulty
+        return mask
+
+    def _instantaneous_conductance(self) -> np.ndarray:
+        return self.device.read(self.conductance, seed=self._rng)
+
+    def mvm(self, row_voltages: np.ndarray) -> np.ndarray:
+        """Drive rows with ``row_voltages``; return column currents.
+
+        Computes ``I_j = sum_i G_ij * V_i`` with read noise and optional
+        IR drop applied.
+        """
+        row_voltages = np.asarray(row_voltages, dtype=float)
+        if row_voltages.shape != (self.rows,):
+            raise ValueError(
+                f"row_voltages must have shape ({self.rows},), got {row_voltages.shape}"
+            )
+        g_now = self._instantaneous_conductance()
+        if self.wire_resistance > 0.0:
+            g_now = g_now * ir_drop_factors(g_now, self.wire_resistance, axis=0)
+        self.n_col_reads += 1
+        return row_voltages @ g_now
+
+    def mvm_t(self, col_voltages: np.ndarray) -> np.ndarray:
+        """Drive columns with ``col_voltages``; return row currents.
+
+        Computes ``I_i = sum_j G_ij * V_j`` — the transpose read used by
+        AMP for ``A* z_t`` (Fig. 6).
+        """
+        col_voltages = np.asarray(col_voltages, dtype=float)
+        if col_voltages.shape != (self.cols,):
+            raise ValueError(
+                f"col_voltages must have shape ({self.cols},), got {col_voltages.shape}"
+            )
+        g_now = self._instantaneous_conductance()
+        if self.wire_resistance > 0.0:
+            g_now = g_now * ir_drop_factors(g_now, self.wire_resistance, axis=1)
+        self.n_row_reads += 1
+        return g_now @ col_voltages
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CrossbarArray(shape={self.shape}, age={self.age_seconds:g}s)"

@@ -1,0 +1,321 @@
+"""High-level linear operators backed by crossbar arrays.
+
+:class:`CrossbarOperator` maps a signed real matrix ``A`` (shape m x n)
+onto differential PCM device pairs and exposes the two products the
+paper's AMP mapping needs (Fig. 6):
+
+* ``matvec(x)``  -> ``A @ x``   (inputs applied to rows, columns read)
+* ``rmatvec(z)`` -> ``A.T @ z`` (inputs applied to columns, rows read)
+
+Physically the array stores ``A.T`` — the signal dimension ``n`` runs
+along the rows and the measurement dimension ``m`` along the columns, so
+that driving the rows with ``x`` accumulates ``A @ x`` on the columns.
+
+:class:`DenseOperator` provides the identical interface with exact
+floating-point arithmetic and is the "ideal software" baseline used in
+all comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.coding import DifferentialCoding
+from repro.crossbar.converters import Adc, Dac
+from repro.crossbar.tile import split_ranges
+from repro.devices import PcmDevice
+
+__all__ = ["CrossbarOperator", "DenseOperator"]
+
+
+class DenseOperator:
+    """Exact numpy implementation of the operator interface."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.matrix = np.asarray(matrix, dtype=float)
+        if self.matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D")
+        self.n_matvec = 0
+        self.n_rmatvec = 0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        self.n_matvec += 1
+        return self.matrix @ np.asarray(x, dtype=float)
+
+    def rmatvec(self, z: np.ndarray) -> np.ndarray:
+        self.n_rmatvec += 1
+        return self.matrix.T @ np.asarray(z, dtype=float)
+
+
+class _TilePair:
+    """Differential (G+, G-) crossbar pair holding one tile of A.T."""
+
+    def __init__(
+        self,
+        g_pos: np.ndarray,
+        g_neg: np.ndarray,
+        device: PcmDevice,
+        programming_iterations: int,
+        wire_resistance: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self.positive = CrossbarArray(
+            g_pos,
+            device=device,
+            programming_iterations=programming_iterations,
+            wire_resistance=wire_resistance,
+            seed=rng,
+        )
+        self.negative = CrossbarArray(
+            g_neg,
+            device=device,
+            programming_iterations=programming_iterations,
+            wire_resistance=wire_resistance,
+            seed=rng,
+        )
+
+    def column_currents(self, row_voltages: np.ndarray) -> np.ndarray:
+        return self.positive.mvm(row_voltages) - self.negative.mvm(row_voltages)
+
+    def row_currents(self, col_voltages: np.ndarray) -> np.ndarray:
+        return self.positive.mvm_t(col_voltages) - self.negative.mvm_t(col_voltages)
+
+    def advance_time(self, seconds: float) -> None:
+        self.positive.advance_time(seconds)
+        self.negative.advance_time(seconds)
+
+
+class CrossbarOperator:
+    """A signed matrix stored in PCM crossbars with converter interfaces.
+
+    Parameters
+    ----------
+    matrix:
+        The real matrix ``A`` of shape ``(m, n)``.
+    device:
+        PCM device model (defaults to the library standard device).
+    dac_bits / adc_bits:
+        Converter resolutions; ``None`` for ideal converters.
+    v_read:
+        Read voltage magnitude in volts (the paper's analyses assume an
+        average of 0.2 V).
+    tile_shape:
+        Maximum physical array size ``(rows, cols)``; larger matrices
+        are tiled and partial sums accumulate digitally after the ADC.
+    programming_iterations:
+        Program-and-verify rounds for writing the conductances.
+    wire_resistance:
+        Per-segment wire resistance for the IR-drop model (0 = off).
+    utilization:
+        Fraction of the conductance window given to the largest
+        coefficient (headroom for drift).
+    full_scale_mode:
+        How the ADC full-scale current is chosen. ``"statistical"``
+        (default) sizes it at ``full_scale_sigmas`` times the largest
+        line L2-norm — the practical choice, since the worst-case sum
+        current of a dense line is ~sqrt(rows) larger than any current
+        that actually occurs and would waste ADC levels.  ``"worst"``
+        guarantees no clipping ever.
+    full_scale_sigmas:
+        Headroom multiplier for the statistical mode.
+    seed:
+        RNG seed or generator for all stochastic device behaviour.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        device: PcmDevice | None = None,
+        dac_bits: int | None = 8,
+        adc_bits: int | None = 8,
+        v_read: float = 0.2,
+        tile_shape: tuple[int, int] = (1024, 1024),
+        programming_iterations: int = 5,
+        wire_resistance: float = 0.0,
+        utilization: float = 1.0,
+        full_scale_mode: str = "statistical",
+        full_scale_sigmas: float = 4.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if full_scale_mode not in ("statistical", "worst"):
+            raise ValueError("full_scale_mode must be 'statistical' or 'worst'")
+        if full_scale_sigmas <= 0:
+            raise ValueError("full_scale_sigmas must be positive")
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D")
+        self.matrix = matrix
+        self.device = device if device is not None else PcmDevice()
+        rng = as_rng(seed)
+
+        stored = matrix.T  # rows = signal dim n, cols = measurement dim m
+        n, m = stored.shape
+        self._row_spans = split_ranges(n, tile_shape[0])
+        self._col_spans = split_ranges(m, tile_shape[1])
+
+        # One shared scale across tiles keeps decoding a single divide.
+        coding = DifferentialCoding(self.device, utilization=utilization)
+        g_pos_full, g_neg_full = coding.encode(stored)
+        self._scale = coding.scale
+        self._tiles: dict[tuple[int, int], _TilePair] = {}
+        for ri, (r0, r1) in enumerate(self._row_spans):
+            for ci, (c0, c1) in enumerate(self._col_spans):
+                self._tiles[(ri, ci)] = _TilePair(
+                    g_pos_full[r0:r1, c0:c1],
+                    g_neg_full[r0:r1, c0:c1],
+                    device=self.device,
+                    programming_iterations=programming_iterations,
+                    wire_resistance=wire_resistance,
+                    rng=rng,
+                )
+
+        self.dac = Dac(bits=dac_bits, v_max=v_read)
+        scaled = stored * self._scale * v_read
+        if full_scale_mode == "worst":
+            col_fs = float(np.abs(scaled).sum(axis=0).max()) if stored.size else 0.0
+            row_fs = float(np.abs(scaled).sum(axis=1).max()) if stored.size else 0.0
+            margin = 1.05
+        else:
+            col_fs = float(np.sqrt((scaled**2).sum(axis=0)).max()) if stored.size else 0.0
+            row_fs = float(np.sqrt((scaled**2).sum(axis=1)).max()) if stored.size else 0.0
+            margin = full_scale_sigmas
+        self.adc_columns = Adc(bits=adc_bits, full_scale=max(col_fs * margin, 1e-12))
+        self.adc_rows = Adc(bits=adc_bits, full_scale=max(row_fs * margin, 1e-12))
+        self.v_read = v_read
+        self.n_matvec = 0
+        self.n_rmatvec = 0
+        self._gain = 1.0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self._tiles)
+
+    @property
+    def n_devices(self) -> int:
+        """Total PCM devices used (two per coefficient, differential)."""
+        return 2 * self.matrix.size
+
+    def advance_time(self, seconds: float) -> None:
+        """Let every tile drift for ``seconds`` (Sec. III, PCM drift)."""
+        for pair in self._tiles.values():
+            pair.advance_time(seconds)
+
+    def inject_stuck_faults(
+        self,
+        fraction: float,
+        mode: str = "both",
+        seed: int | np.random.Generator | None = None,
+    ) -> int:
+        """Inject stuck devices into every tile; returns the fault count."""
+        rng = as_rng(seed)
+        total = 0
+        for pair in self._tiles.values():
+            total += int(pair.positive.inject_stuck_faults(fraction, mode, rng).sum())
+            total += int(pair.negative.inject_stuck_faults(fraction, mode, rng).sum())
+        return total
+
+    def calibrate(
+        self, n_probes: int = 8, seed: int | np.random.Generator | None = None
+    ) -> float:
+        """Re-fit the digital output gain against the known target matrix.
+
+        PCM drift decays all conductances together, which to first
+        order scales the analog output by a common factor.  Periodic
+        calibration — probing with random vectors and comparing to the
+        digitally stored target ``A`` — recovers that factor without
+        reprogramming the devices (the standard drift-compensation
+        technique for PCM-based computing).  Returns the fitted gain.
+        """
+        if n_probes < 1:
+            raise ValueError("n_probes must be >= 1")
+        rng = as_rng(seed)
+        m, n = self.shape
+        numerator = 0.0
+        denominator = 0.0
+        previous_gain = self._gain
+        self._gain = 1.0  # probe the raw (uncorrected) output
+        try:
+            for _ in range(n_probes):
+                probe = rng.standard_normal(n)
+                reference = self.matrix @ probe
+                observed = self.matvec(probe)
+                numerator += float(observed @ reference)
+                denominator += float(observed @ observed)
+        finally:
+            self._gain = previous_gain
+        if denominator == 0.0:
+            raise RuntimeError("calibration probes produced no signal")
+        self._gain = numerator / denominator
+        return self._gain
+
+    def _normalize(self, vector: np.ndarray) -> tuple[np.ndarray, float]:
+        peak = float(np.max(np.abs(vector))) if vector.size else 0.0
+        if peak == 0.0:
+            return np.zeros_like(vector), 0.0
+        return vector / peak, peak
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Analog evaluation of ``A @ x``."""
+        x = np.asarray(x, dtype=float)
+        m, n = self.shape
+        if x.shape != (n,):
+            raise ValueError(f"x must have shape ({n},), got {x.shape}")
+        self.n_matvec += 1
+        normalized, peak = self._normalize(x)
+        if peak == 0.0:
+            return np.zeros(m)
+        voltages = self.dac.to_voltages(normalized)
+        result = np.zeros(m)
+        for ri, (r0, r1) in enumerate(self._row_spans):
+            v_block = voltages[r0:r1]
+            for ci, (c0, c1) in enumerate(self._col_spans):
+                currents = self._tiles[(ri, ci)].column_currents(v_block)
+                result[c0:c1] += self.adc_columns.quantize(currents)
+        return result * self._gain * peak / (self._scale * self.v_read)
+
+    def rmatvec(self, z: np.ndarray) -> np.ndarray:
+        """Analog evaluation of ``A.T @ z`` (transpose read)."""
+        z = np.asarray(z, dtype=float)
+        m, n = self.shape
+        if z.shape != (m,):
+            raise ValueError(f"z must have shape ({m},), got {z.shape}")
+        self.n_rmatvec += 1
+        normalized, peak = self._normalize(z)
+        if peak == 0.0:
+            return np.zeros(n)
+        voltages = self.dac.to_voltages(normalized)
+        result = np.zeros(n)
+        for ri, (r0, r1) in enumerate(self._row_spans):
+            for ci, (c0, c1) in enumerate(self._col_spans):
+                currents = self._tiles[(ri, ci)].row_currents(voltages[c0:c1])
+                result[r0:r1] += self.adc_rows.quantize(currents)
+        return result * self._gain * peak / (self._scale * self.v_read)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Operation counters for the energy models."""
+        return {
+            "n_matvec": self.n_matvec,
+            "n_rmatvec": self.n_rmatvec,
+            "dac_conversions": self.dac.n_conversions,
+            "adc_conversions": self.adc_columns.n_conversions
+            + self.adc_rows.n_conversions,
+            "n_devices": self.n_devices,
+            "n_tiles": self.n_tiles,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrossbarOperator(shape={self.shape}, tiles={self.n_tiles}, "
+            f"dac={self.dac.bits}, adc={self.adc_columns.bits})"
+        )

@@ -1,0 +1,26 @@
+"""Tiling helpers for mapping large matrices onto fixed-size arrays.
+
+Real crossbar macros have bounded dimensions (the paper's prototypes
+use 1024x1024); larger matrices are split into a grid of tiles whose
+partial results are summed digitally.
+"""
+
+from __future__ import annotations
+
+__all__ = ["split_ranges"]
+
+
+def split_ranges(total: int, tile: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into consecutive spans of at most ``tile``.
+
+    Returns a list of half-open ``(start, stop)`` index pairs covering
+    ``[0, total)`` in order.
+
+    >>> split_ranges(10, 4)
+    [(0, 4), (4, 8), (8, 10)]
+    """
+    if total < 1:
+        raise ValueError("total must be >= 1")
+    if tile < 1:
+        raise ValueError("tile must be >= 1")
+    return [(start, min(start + tile, total)) for start in range(0, total, tile)]

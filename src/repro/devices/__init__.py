@@ -1,0 +1,16 @@
+"""Memristive device models (substrate S1).
+
+Two device families cover the paper's needs:
+
+* :class:`BinaryMemristor` — a two-state resistive device (``R_L`` /
+  ``R_H``) used by Scouting Logic (Sec. II) and by binary hypervector
+  storage (Sec. IV.B).
+* :class:`PcmDevice` — a multilevel phase-change memory device with
+  programming noise, read noise and conductance drift, used by the
+  analog crossbar for matrix-vector multiplication (Secs. III, IV).
+"""
+
+from repro.devices.binary import BinaryMemristor
+from repro.devices.pcm import PcmDevice
+
+__all__ = ["BinaryMemristor", "PcmDevice"]

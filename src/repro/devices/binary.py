@@ -1,0 +1,97 @@
+"""Binary (two-state) memristive device model.
+
+Scouting Logic (Xie et al., ISVLSI'17; Fig. 2c of the paper) stores one
+bit per device as either a low resistance ``R_L`` (logic 1) or a high
+resistance ``R_H`` (logic 0).  Reading k devices in parallel with a read
+voltage ``V_r`` produces a column current that is the sum of the
+per-device currents; the sense amplifier classifies that current against
+reference currents to realize OR/AND/XOR.
+
+The model is deliberately simple but physical: resistances carry
+log-normal device-to-device variability, and reads see a small additive
+Gaussian current noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, check_positive
+
+__all__ = ["BinaryMemristor"]
+
+
+@dataclass(frozen=True)
+class BinaryMemristor:
+    """Parameters of a binary memristive device.
+
+    Attributes
+    ----------
+    r_low:
+        LRS resistance in ohms (stores logic 1).
+    r_high:
+        HRS resistance in ohms (stores logic 0).
+    variability:
+        Relative log-normal sigma applied to each device's resistance
+        when it is programmed (0 disables variability).
+    read_noise:
+        Relative Gaussian sigma applied to each per-device read current.
+    """
+
+    r_low: float = 10e3
+    r_high: float = 1e6
+    variability: float = 0.02
+    read_noise: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive("r_low", self.r_low)
+        check_positive("r_high", self.r_high)
+        if self.r_high <= self.r_low:
+            raise ValueError(
+                f"r_high ({self.r_high}) must exceed r_low ({self.r_low})"
+            )
+        if self.variability < 0 or self.read_noise < 0:
+            raise ValueError("noise parameters must be non-negative")
+
+    @property
+    def resistance_ratio(self) -> float:
+        """HRS/LRS ratio; larger ratios widen the sensing margins."""
+        return self.r_high / self.r_low
+
+    def nominal_resistance(self, bits: np.ndarray) -> np.ndarray:
+        """Map a bit array to nominal resistances (1 -> R_L, 0 -> R_H)."""
+        bits = np.asarray(bits)
+        return np.where(bits != 0, self.r_low, self.r_high).astype(float)
+
+    def program(
+        self, bits: np.ndarray, seed: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Return programmed resistances for ``bits`` with variability.
+
+        Each device's resistance is drawn once at programming time; the
+        caller should retain the returned array for subsequent reads.
+        """
+        rng = as_rng(seed)
+        nominal = self.nominal_resistance(bits)
+        if self.variability == 0.0:
+            return nominal
+        spread = rng.lognormal(mean=0.0, sigma=self.variability, size=nominal.shape)
+        return nominal * spread
+
+    def read_current(
+        self,
+        resistances: np.ndarray,
+        read_voltage: float,
+        seed: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Per-device read current ``V_r / R`` with read noise applied."""
+        check_positive("read_voltage", read_voltage)
+        resistances = np.asarray(resistances, dtype=float)
+        current = read_voltage / resistances
+        if self.read_noise == 0.0:
+            return current
+        rng = as_rng(seed)
+        noise = rng.normal(0.0, self.read_noise, size=current.shape)
+        return current * (1.0 + noise)

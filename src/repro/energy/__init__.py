@@ -1,0 +1,33 @@
+"""Energy, power and area cost models (substrate S11).
+
+Each model re-derives one of the paper's quantitative comparisons:
+
+* :class:`FpgaMvmDesign` — the 4-bit FPGA dot-product engine of Table I.
+* :class:`AdcModel` — ADC power/energy/area from a mW-per-GSps figure.
+* :class:`CrossbarCostModel` — PCM crossbar power, energy and area
+  (Sec. III.B.3: 222 mW, 222 nJ per MVM, 0.332 mm^2).
+* :class:`CortexM0Model` — sub/near-threshold MCU energy per inference
+  (Fig. 7b legend: 10 pJ/cycle sub-Vth, 100 pJ/cycle nominal).
+* :func:`iot_energy_rows` — the Fig. 7b series.
+* :class:`HdProcessorModel` — 65 nm CMOS vs CIM HD processor area and
+  energy (Sec. IV.B.3: ~9x area, ~5x energy, 2-3 orders for the
+  replaceable modules alone).
+"""
+
+from repro.energy.adc import AdcModel
+from repro.energy.crossbar_cost import CrossbarCostModel
+from repro.energy.fpga import FpgaMvmDesign
+from repro.energy.hd_asic import HdModuleCosts, HdProcessorModel
+from repro.energy.iot import CimInferenceCost, iot_energy_rows
+from repro.energy.mcu import CortexM0Model
+
+__all__ = [
+    "AdcModel",
+    "CimInferenceCost",
+    "CortexM0Model",
+    "CrossbarCostModel",
+    "FpgaMvmDesign",
+    "HdModuleCosts",
+    "HdProcessorModel",
+    "iot_energy_rows",
+]

@@ -1,0 +1,53 @@
+"""ADC power / energy / area model.
+
+Sec. III.B.3 sizes the crossbar readout with 8-bit ADCs in 90 nm
+characterized at **12 mW/GSps**, i.e. 12 pJ per 8-bit conversion, each
+occupying 50 um x 300 um.  Resolutions other than 8 bits scale with the
+conversion-step count (Walden figure of merit: energy proportional to
+``2**bits``), which is how the 4-bit converters of the IoT study
+(Fig. 7b) become an order of magnitude cheaper per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+
+__all__ = ["AdcModel"]
+
+
+@dataclass(frozen=True)
+class AdcModel:
+    """One ADC characterized by a mW/GSps figure at a reference resolution."""
+
+    bits: int = 8
+    reference_bits: int = 8
+    power_per_gsps_w: float = 0.012
+    """Power per GSps at the reference resolution (12 mW/GSps, 90 nm)."""
+    width_m: float = 50e-6
+    height_m: float = 300e-6
+
+    def __post_init__(self) -> None:
+        if self.bits < 1 or self.reference_bits < 1:
+            raise ValueError("resolutions must be >= 1 bit")
+        check_positive("power_per_gsps_w", self.power_per_gsps_w)
+
+    @property
+    def energy_per_conversion_j(self) -> float:
+        """Energy of one conversion at this resolution.
+
+        At the reference point: 12 mW/GSps = 12 pJ/sample; Walden
+        scaling multiplies by ``2**(bits - reference_bits)``.
+        """
+        reference_energy = self.power_per_gsps_w * 1e-9  # J per sample
+        return reference_energy * 2.0 ** (self.bits - self.reference_bits)
+
+    def power_w(self, sample_rate_sps: float) -> float:
+        """Average power at ``sample_rate_sps`` samples per second."""
+        check_positive("sample_rate_sps", sample_rate_sps)
+        return self.energy_per_conversion_j * sample_rate_sps
+
+    @property
+    def area_m2(self) -> float:
+        return self.width_m * self.height_m

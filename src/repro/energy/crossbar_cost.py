@@ -1,0 +1,110 @@
+"""Power, energy and area model of a PCM crossbar MVM unit.
+
+Re-derives the Sec. III.B.3 analysis: a 1024x1024 crossbar of 25F^2
+1T1R PCM cells (F = 90 nm) read at an average 1 uA / 0.2 V per device,
+digitized by 8 ADCs at 125 MSps so all 1024 columns are read within a
+1 us cycle.  Published anchors: device power ~0.21 W, ADC power
+~12.3 mW, total ~222 mW (~120x below the FPGA's 26.6 W), 222 nJ per
+MVM (~80x below the FPGA's 17.7 uJ), area ~0.332 mm^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_positive
+from repro.energy.adc import AdcModel
+
+__all__ = ["CrossbarCostModel"]
+
+
+@dataclass(frozen=True)
+class CrossbarCostModel:
+    """Cost model for one crossbar MVM unit with its ADC readout."""
+
+    rows: int = 1024
+    cols: int = 1024
+    avg_read_current_a: float = 1e-6
+    avg_read_voltage_v: float = 0.2
+    cycle_time_s: float = 1e-6
+    """Time to perform one full matrix-vector multiplication."""
+    n_adcs: int = 8
+    adc: AdcModel = field(default_factory=AdcModel)
+    cell_area_f2: float = 25.0
+    """Cell footprint in units of F^2 (25F^2 1T1R PCM)."""
+    feature_size_m: float = 90e-9
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1 or self.n_adcs < 1:
+            raise ValueError("rows, cols and n_adcs must be >= 1")
+        check_positive("avg_read_current_a", self.avg_read_current_a)
+        check_positive("avg_read_voltage_v", self.avg_read_voltage_v)
+        check_positive("cycle_time_s", self.cycle_time_s)
+        check_positive("feature_size_m", self.feature_size_m)
+
+    # -- power ---------------------------------------------------------------
+    @property
+    def device_power_w(self) -> float:
+        """Dynamic power dissipated in the devices during a read."""
+        return (
+            self.rows
+            * self.cols
+            * self.avg_read_current_a
+            * self.avg_read_voltage_v
+        )
+
+    @property
+    def adc_sample_rate_sps(self) -> float:
+        """Aggregate conversion rate to read every column per cycle."""
+        return self.cols / self.cycle_time_s
+
+    @property
+    def adc_power_w(self) -> float:
+        return self.adc.power_w(self.adc_sample_rate_sps)
+
+    @property
+    def total_power_w(self) -> float:
+        return self.device_power_w + self.adc_power_w
+
+    # -- energy ----------------------------------------------------------------
+    @property
+    def mvm_energy_j(self) -> float:
+        """Energy of one full MVM (one cycle at total power)."""
+        return self.total_power_w * self.cycle_time_s
+
+    def energy_for_reads_j(self, n_mvm: int) -> float:
+        if n_mvm < 0:
+            raise ValueError("n_mvm must be non-negative")
+        return n_mvm * self.mvm_energy_j
+
+    # -- area --------------------------------------------------------------------
+    @property
+    def cell_area_m2(self) -> float:
+        return self.cell_area_f2 * self.feature_size_m**2
+
+    @property
+    def array_area_m2(self) -> float:
+        return self.rows * self.cols * self.cell_area_m2
+
+    @property
+    def adc_area_m2(self) -> float:
+        return self.n_adcs * self.adc.area_m2
+
+    @property
+    def total_area_m2(self) -> float:
+        return self.array_area_m2 + self.adc_area_m2
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.total_area_m2 * 1e6
+
+    # -- comparisons -------------------------------------------------------------
+    def power_advantage_over(self, competitor_power_w: float) -> float:
+        """How many times lower this unit's power is (e.g. vs the FPGA)."""
+        check_positive("competitor_power_w", competitor_power_w)
+        return competitor_power_w / self.total_power_w
+
+    def energy_advantage_over(self, competitor_energy_j: float) -> float:
+        """How many times lower this unit's per-MVM energy is."""
+        check_positive("competitor_energy_j", competitor_energy_j)
+        return competitor_energy_j / self.mvm_energy_j

@@ -1,0 +1,114 @@
+"""CIM HD processor vs 65 nm CMOS implementation (Sec. IV.B.3).
+
+The paper synthesized a cycle-accurate RTL model of an HD processor in
+UMC 65 nm (Synopsys DC + PrimeTime) and compared it against the
+proposed CIM HD processor: "a best area improvement of 9x and an energy
+improvement of 5x is expected", and "when only replaceable modules are
+considered, energy efficiency can be two to three orders of magnitude
+higher".
+
+This component-level model keeps that structure explicit: the item
+memory, the MAP encoder and the associative memory are *replaceable*
+(they become memristive arrays in the CIM design); the controller,
+buffers and converter periphery are *non-replaceable* digital logic
+that both designs carry.  Default numbers are calibrated to the
+published aggregate ratios for a d = 8192 classifier at 65 nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HdModuleCosts", "HdProcessorModel"]
+
+
+@dataclass(frozen=True)
+class HdModuleCosts:
+    """Area and per-query energy of one module."""
+
+    name: str
+    area_mm2: float
+    energy_per_query_nj: float
+    replaceable: bool
+
+    def __post_init__(self) -> None:
+        if self.area_mm2 < 0 or self.energy_per_query_nj < 0:
+            raise ValueError("module costs must be non-negative")
+
+
+def _cmos_modules() -> tuple[HdModuleCosts, ...]:
+    """65 nm digital CMOS HD processor (RTL synthesis equivalent)."""
+    return (
+        HdModuleCosts("item_memory", 0.90, 45.0, replaceable=True),
+        HdModuleCosts("map_encoder", 1.20, 95.0, replaceable=True),
+        HdModuleCosts("associative_memory", 1.40, 90.0, replaceable=True),
+        HdModuleCosts("controller_buffers", 0.50, 50.0, replaceable=False),
+    )
+
+
+def _cim_modules() -> tuple[HdModuleCosts, ...]:
+    """CIM HD processor: replaceable modules become memristive arrays.
+
+    The non-replaceable share grows slightly (ADC/DAC periphery and
+    wider buffers feed the analog arrays) and dominates the CIM energy
+    budget — the paper notes the replaceable-module gains "are eclipsed
+    by the current energy budget of the non-replaceable modules".
+    """
+    return (
+        HdModuleCosts("item_memory", 0.008, 0.12, replaceable=True),
+        HdModuleCosts("map_encoder", 0.012, 0.20, replaceable=True),
+        HdModuleCosts("associative_memory", 0.010, 0.14, replaceable=True),
+        HdModuleCosts("controller_buffers", 0.415, 55.0, replaceable=False),
+    )
+
+
+@dataclass(frozen=True)
+class HdProcessorModel:
+    """Compare the CMOS and CIM HD processor implementations."""
+
+    cmos: tuple[HdModuleCosts, ...] = field(default_factory=_cmos_modules)
+    cim: tuple[HdModuleCosts, ...] = field(default_factory=_cim_modules)
+
+    @staticmethod
+    def _total_area(modules: tuple[HdModuleCosts, ...], replaceable_only: bool) -> float:
+        return sum(
+            m.area_mm2 for m in modules if m.replaceable or not replaceable_only
+        )
+
+    @staticmethod
+    def _total_energy(modules: tuple[HdModuleCosts, ...], replaceable_only: bool) -> float:
+        return sum(
+            m.energy_per_query_nj
+            for m in modules
+            if m.replaceable or not replaceable_only
+        )
+
+    def area_improvement(self, replaceable_only: bool = False) -> float:
+        """CMOS area divided by CIM area (~9x for the full design)."""
+        return self._total_area(self.cmos, replaceable_only) / self._total_area(
+            self.cim, replaceable_only
+        )
+
+    def energy_improvement(self, replaceable_only: bool = False) -> float:
+        """CMOS energy divided by CIM energy (~5x full, 10^2-10^3 modules-only)."""
+        return self._total_energy(self.cmos, replaceable_only) / self._total_energy(
+            self.cim, replaceable_only
+        )
+
+    def rows(self) -> list[dict[str, object]]:
+        """Per-module breakdown suitable for the benchmark report."""
+        out: list[dict[str, object]] = []
+        for cmos_mod, cim_mod in zip(self.cmos, self.cim):
+            if cmos_mod.name != cim_mod.name:
+                raise ValueError("module lists must align by name")
+            out.append(
+                {
+                    "module": cmos_mod.name,
+                    "replaceable": cmos_mod.replaceable,
+                    "cmos_area_mm2": cmos_mod.area_mm2,
+                    "cim_area_mm2": cim_mod.area_mm2,
+                    "cmos_energy_nj": cmos_mod.energy_per_query_nj,
+                    "cim_energy_nj": cim_mod.energy_per_query_nj,
+                }
+            )
+        return out

@@ -1,0 +1,94 @@
+"""IoT inference energy comparison — the Fig. 7(b) series.
+
+Total energy to evaluate a fully-connected N x N layer (the paper's
+x-axis is "Fully-Connected Network Dimensions (N^2)") on:
+
+* a CIM crossbar read out with 4-bit ADCs,
+* a sub-threshold Cortex-M0 at 10 pJ/cycle,
+* a nominal-voltage Cortex-M0 at 100 pJ/cycle.
+
+The CIM energy has two parts: the device read energy (every cell
+conducts for one read pulse) and the converter energy (one DAC event
+per row, one ADC conversion per column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_positive
+from repro.energy.adc import AdcModel
+from repro.energy.mcu import CortexM0Model
+
+__all__ = ["CimInferenceCost", "iot_energy_rows"]
+
+
+@dataclass(frozen=True)
+class CimInferenceCost:
+    """Energy model of crossbar-based FC-layer inference."""
+
+    adc: AdcModel = field(default_factory=lambda: AdcModel(bits=4))
+    avg_read_current_a: float = 1e-6
+    avg_read_voltage_v: float = 0.2
+    read_pulse_s: float = 100e-9
+    dac_energy_fraction: float = 0.25
+    """DAC event energy as a fraction of one ADC conversion."""
+
+    def __post_init__(self) -> None:
+        check_positive("avg_read_current_a", self.avg_read_current_a)
+        check_positive("avg_read_voltage_v", self.avg_read_voltage_v)
+        check_positive("read_pulse_s", self.read_pulse_s)
+        if self.dac_energy_fraction < 0:
+            raise ValueError("dac_energy_fraction must be non-negative")
+
+    @property
+    def cell_read_energy_j(self) -> float:
+        """Energy of one device conducting for one read pulse (~20 fJ)."""
+        return (
+            self.avg_read_current_a * self.avg_read_voltage_v * self.read_pulse_s
+        )
+
+    def fc_layer_energy_j(self, n_inputs: int, n_outputs: int) -> float:
+        """Energy of one dense layer evaluated in the crossbar."""
+        if n_inputs < 1 or n_outputs < 1:
+            raise ValueError("layer dimensions must be >= 1")
+        devices = n_inputs * n_outputs * self.cell_read_energy_j
+        adc = n_outputs * self.adc.energy_per_conversion_j
+        dac = n_inputs * self.dac_energy_fraction * self.adc.energy_per_conversion_j
+        return devices + adc + dac
+
+    def network_energy_j(self, layer_dims: list[int] | tuple[int, ...]) -> float:
+        """Energy of a stack of dense layers given the dimension chain."""
+        if len(layer_dims) < 2:
+            raise ValueError("need at least an input and an output dimension")
+        total = 0.0
+        for n_in, n_out in zip(layer_dims, layer_dims[1:]):
+            total += self.fc_layer_energy_j(n_in, n_out)
+        return total
+
+
+def iot_energy_rows(
+    dimensions: list[int] | tuple[int, ...] = (32, 64, 128, 256, 512),
+    cim: CimInferenceCost | None = None,
+    sub_threshold: CortexM0Model | None = None,
+    nominal: CortexM0Model | None = None,
+) -> list[dict[str, float]]:
+    """The Fig. 7(b) table: energy per N x N layer for each platform.
+
+    Returns one row per dimension with keys ``dimension``,
+    ``cim_4bit_adc_j``, ``sub_vth_m0_j`` and ``vnom_m0_j``.
+    """
+    cim = cim or CimInferenceCost()
+    sub_threshold = sub_threshold or CortexM0Model.sub_threshold()
+    nominal = nominal or CortexM0Model.nominal()
+    rows = []
+    for n in dimensions:
+        rows.append(
+            {
+                "dimension": float(n),
+                "cim_4bit_adc_j": cim.fc_layer_energy_j(n, n),
+                "sub_vth_m0_j": sub_threshold.fc_layer_energy_j(n, n),
+                "vnom_m0_j": nominal.fc_layer_energy_j(n, n),
+            }
+        )
+    return rows

@@ -1,0 +1,65 @@
+"""Cortex-M0-class MCU energy model for always-ON inference (Fig. 7b).
+
+The IoT comparison (Sec. IV.A.3) pits the CIM crossbar against
+low-power near/sub-threshold Cortex-M0 processors (Myers et al., VLSI
+Circuits 2017).  Fig. 7b's legend fixes the energy axis: a sub-Vth part
+at ~10 pJ/cycle and a nominal-voltage part at ~100 pJ/cycle.  A
+fully-connected N x N layer costs roughly ``cycles_per_mac`` cycles per
+multiply-accumulate on an M0-class core (no hardware MAC; software
+multiply + load/store overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+
+__all__ = ["CortexM0Model"]
+
+
+@dataclass(frozen=True)
+class CortexM0Model:
+    """Energy model of an M0-class core executing FC-layer inference."""
+
+    pj_per_cycle: float
+    cycles_per_mac: float = 5.0
+    """Cycles per multiply-accumulate, including operand loads."""
+    overhead_cycles_per_neuron: float = 20.0
+    """Activation function + bookkeeping per output neuron."""
+
+    def __post_init__(self) -> None:
+        check_positive("pj_per_cycle", self.pj_per_cycle)
+        check_positive("cycles_per_mac", self.cycles_per_mac)
+        if self.overhead_cycles_per_neuron < 0:
+            raise ValueError("overhead_cycles_per_neuron must be non-negative")
+
+    @classmethod
+    def sub_threshold(cls) -> "CortexM0Model":
+        """The 10 pJ/cycle sub-Vth operating point of Fig. 7b."""
+        return cls(pj_per_cycle=10.0)
+
+    @classmethod
+    def nominal(cls) -> "CortexM0Model":
+        """The 100 pJ/cycle nominal-voltage operating point of Fig. 7b."""
+        return cls(pj_per_cycle=100.0)
+
+    def fc_layer_cycles(self, n_inputs: int, n_outputs: int) -> float:
+        """Cycle count of one dense layer ``n_inputs -> n_outputs``."""
+        if n_inputs < 1 or n_outputs < 1:
+            raise ValueError("layer dimensions must be >= 1")
+        macs = n_inputs * n_outputs
+        return macs * self.cycles_per_mac + n_outputs * self.overhead_cycles_per_neuron
+
+    def fc_layer_energy_j(self, n_inputs: int, n_outputs: int) -> float:
+        """Energy of one dense layer in joules."""
+        return self.fc_layer_cycles(n_inputs, n_outputs) * self.pj_per_cycle * 1e-12
+
+    def network_energy_j(self, layer_dims: list[int] | tuple[int, ...]) -> float:
+        """Energy of a stack of dense layers given the dimension chain."""
+        if len(layer_dims) < 2:
+            raise ValueError("need at least an input and an output dimension")
+        total = 0.0
+        for n_in, n_out in zip(layer_dims, layer_dims[1:]):
+            total += self.fc_layer_energy_j(n_in, n_out)
+        return total

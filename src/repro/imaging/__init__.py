@@ -1,0 +1,25 @@
+"""Advanced image processing kernels (Sec. III.A, system S8).
+
+* :func:`box_filter` — O(1)-per-pixel windowed mean (integral images),
+  the substrate of the guided filter.
+* :func:`guided_filter` — He et al.'s edge-preserving guided image
+  filter, the paper's motivating kernel.
+* :func:`bilateral_filter` — the classical edge-preserving baseline the
+  paper contrasts it with (Fig. 5).
+* :class:`NeighborhoodAccessModel` — memory-traffic model of the
+  medium-size-neighbourhood access pattern (7x7 .. 11x11 pixels) on a
+  conventional cache hierarchy versus a CIM-P array with a modified
+  address decoder.
+"""
+
+from repro.imaging.access_model import NeighborhoodAccessModel
+from repro.imaging.bilateral import bilateral_filter
+from repro.imaging.box import box_filter
+from repro.imaging.guided import guided_filter
+
+__all__ = [
+    "NeighborhoodAccessModel",
+    "bilateral_filter",
+    "box_filter",
+    "guided_filter",
+]

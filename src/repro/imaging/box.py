@@ -1,0 +1,55 @@
+"""Windowed-mean (box) filter via integral images.
+
+Each output pixel is the mean of the ``(2r+1) x (2r+1)`` window around
+it, with windows clipped at the image borders (so border pixels average
+over their valid neighbourhood only — the normalization the guided
+filter requires).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["box_filter", "window_counts"]
+
+
+def _clipped_window_sums(image: np.ndarray, radius: int) -> np.ndarray:
+    """Sum over the clipped window around each pixel (integral image)."""
+    padded = np.zeros((image.shape[0] + 1, image.shape[1] + 1), dtype=float)
+    np.cumsum(np.cumsum(image, axis=0), axis=1, out=padded[1:, 1:])
+    height, width = image.shape
+    rows = np.arange(height)
+    cols = np.arange(width)
+    top = np.clip(rows - radius, 0, height)
+    bottom = np.clip(rows + radius + 1, 0, height)
+    left = np.clip(cols - radius, 0, width)
+    right = np.clip(cols + radius + 1, 0, width)
+    return (
+        padded[np.ix_(bottom, right)]
+        - padded[np.ix_(top, right)]
+        - padded[np.ix_(bottom, left)]
+        + padded[np.ix_(top, left)]
+    )
+
+
+def window_counts(shape: tuple[int, int], radius: int) -> np.ndarray:
+    """Number of valid pixels in each clipped window."""
+    ones = np.ones(shape, dtype=float)
+    return _clipped_window_sums(ones, radius)
+
+
+def box_filter(image: np.ndarray, radius: int) -> np.ndarray:
+    """Mean filter with window radius ``r`` (window size ``2r+1``).
+
+    Runs in O(1) per pixel independent of the radius.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError("image must be a 2-D array")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if radius == 0:
+        return image.copy()
+    sums = _clipped_window_sums(image, radius)
+    counts = window_counts(image.shape, radius)
+    return sums / counts

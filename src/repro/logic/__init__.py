@@ -1,0 +1,15 @@
+"""Scouting Logic: bitwise computation in the sense amplifiers (S3).
+
+Implements the CIM-Periphery bitwise fabric of Sec. II (Fig. 2c): two or
+more rows of a binary memristive array are activated simultaneously, the
+column current depends on the equivalent input resistance, and a sense
+amplifier with appropriately placed reference currents classifies that
+current to realize OR, AND and XOR gates.
+"""
+
+from repro.logic.adder import BitSerialAdder
+from repro.logic.engine import BitwiseEngine
+from repro.logic.scouting import ScoutingLogic
+from repro.logic.sense_amp import SenseAmplifier
+
+__all__ = ["BitSerialAdder", "BitwiseEngine", "ScoutingLogic", "SenseAmplifier"]

@@ -1,0 +1,132 @@
+"""Bit-serial in-memory parallel adder (Du Nguyen et al., TVLSI 2017 —
+the paper's reference [16], "On the implementation of
+computation-in-memory parallel adder").
+
+Operands are stored *bit-sliced*: row ``A_i`` holds bit ``i`` of every
+lane, so one array row carries bit-plane ``i`` of ``width`` independent
+additions.  A ripple-carry step per bit position then needs only the
+Scouting-Logic gate set::
+
+    p_i   = a_i XOR b_i            (propagate)
+    g_i   = a_i AND b_i            (generate)
+    s_i   = p_i XOR c_i            (sum)
+    c_i+1 = g_i OR (p_i AND c_i)   (carry)
+
+i.e. 5 CIM instructions per bit position, each acting on all ``width``
+lanes simultaneously — the massive bit-level parallelism that motivates
+CIM arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.logic.engine import BitwiseEngine
+
+__all__ = ["BitSerialAdder", "ints_to_bitplanes", "bitplanes_to_ints"]
+
+
+def ints_to_bitplanes(values: np.ndarray, bits: int) -> np.ndarray:
+    """Pack unsigned ints into bit-planes: row ``i`` = bit ``i`` (LSB first)."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    values = np.asarray(values, dtype=np.uint64)
+    if np.any(values >= np.uint64(1) << np.uint64(bits)):
+        raise ValueError(f"values do not fit in {bits} bits")
+    planes = np.zeros((bits, values.size), dtype=np.uint8)
+    for i in range(bits):
+        planes[i] = (values >> np.uint64(i)) & np.uint64(1)
+    return planes
+
+
+def bitplanes_to_ints(planes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`ints_to_bitplanes`."""
+    planes = np.asarray(planes, dtype=np.uint64)
+    if planes.ndim != 2:
+        raise ValueError("planes must be 2-D (bits x lanes)")
+    values = np.zeros(planes.shape[1], dtype=np.uint64)
+    for i in range(planes.shape[0]):
+        values |= planes[i] << np.uint64(i)
+    return values
+
+
+class BitSerialAdder:
+    """Ripple-carry addition across the lanes of a bitwise CIM engine.
+
+    Parameters
+    ----------
+    width:
+        Number of parallel adder lanes (array columns).
+    bits:
+        Operand width; results wrap modulo ``2**bits`` (the carry out
+        of the top bit is reported separately).
+    engine:
+        Optional pre-built :class:`BitwiseEngine`; it must provide at
+        least ``2 * bits + 4`` rows.  A fresh engine is built otherwise.
+    seed:
+        RNG seed for the engine's stochastic devices.
+    """
+
+    # Row layout: A planes | B planes | carry | p | g | scratch
+    def __init__(
+        self,
+        width: int,
+        bits: int = 8,
+        engine: BitwiseEngine | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.bits = bits
+        self.width = width
+        rows_needed = 2 * bits + 4
+        if engine is None:
+            engine = BitwiseEngine(n_rows=rows_needed, width=width, seed=seed)
+        elif engine.width != width or engine.n_rows < rows_needed:
+            raise ValueError(
+                f"engine must be {rows_needed}+ rows x {width} bits"
+            )
+        self.engine = engine
+        self._row_a = 0
+        self._row_b = bits
+        self._row_carry = 2 * bits
+        self._row_p = 2 * bits + 1
+        self._row_g = 2 * bits + 2
+        self._row_t = 2 * bits + 3
+
+    def add(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Add two unsigned-int lane vectors inside the array.
+
+        Returns ``(sums, carry_out)`` where ``sums`` wraps modulo
+        ``2**bits`` and ``carry_out`` is the final carry bit per lane.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.shape != (self.width,) or b.shape != (self.width,):
+            raise ValueError(f"operands must have shape ({self.width},)")
+        engine = self.engine
+        engine.load(ints_to_bitplanes(a, self.bits), start_row=self._row_a)
+        engine.load(ints_to_bitplanes(b, self.bits), start_row=self._row_b)
+        engine.write_row(self._row_carry, np.zeros(self.width, dtype=np.uint8))
+
+        sum_planes = np.zeros((self.bits, self.width), dtype=np.uint8)
+        for i in range(self.bits):
+            row_ai = self._row_a + i
+            row_bi = self._row_b + i
+            # propagate / generate
+            engine.bitwise("xor", [row_ai, row_bi], dest=self._row_p)
+            engine.bitwise("and", [row_ai, row_bi], dest=self._row_g)
+            # sum bit
+            sum_planes[i] = engine.bitwise("xor", [self._row_p, self._row_carry])
+            # next carry: g OR (p AND c)
+            engine.bitwise("and", [self._row_p, self._row_carry], dest=self._row_t)
+            engine.bitwise("or", [self._row_g, self._row_t], dest=self._row_carry)
+        carry_out = engine.read_row(self._row_carry)
+        return bitplanes_to_ints(sum_planes), carry_out
+
+    @property
+    def ops_per_add(self) -> int:
+        """CIM logical instructions per ``width``-lane addition."""
+        return 5 * self.bits

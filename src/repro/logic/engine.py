@@ -1,0 +1,145 @@
+"""Bulk bitwise engine: a persistent memory array with scouting reads.
+
+This is the CIM core of Sec. II as seen by software: a bit-addressable
+memory whose rows can be combined with OR/AND/XOR *inside* the array
+(destructive writes go through normal programming).  The engine keeps
+operation and timing counters so the architectural models can charge
+the paper's ~10 ns per logical CIM instruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_in
+from repro.devices import BinaryMemristor
+from repro.logic.scouting import ScoutingLogic
+
+__all__ = ["BitwiseEngine"]
+
+
+class BitwiseEngine:
+    """A binary memristive memory supporting in-memory bitwise ops.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of addressable rows.
+    width:
+        Bits per row (columns of the array).
+    device:
+        Binary memristor model.
+    v_read:
+        Read voltage for scouting operations.
+    t_op_ns:
+        Latency charged per CIM logical instruction (the paper assumes
+        ~10 ns, equivalent to 20 CPU cycles at 2 GHz).
+    seed:
+        RNG seed or generator.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        width: int,
+        device: BinaryMemristor | None = None,
+        v_read: float = 0.2,
+        t_op_ns: float = 10.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_rows < 1 or width < 1:
+            raise ValueError("n_rows and width must be >= 1")
+        self.n_rows = n_rows
+        self.width = width
+        self.device = device if device is not None else BinaryMemristor()
+        self._rng = as_rng(seed)
+        self.scouting = ScoutingLogic(self.device, v_read=v_read, seed=self._rng)
+        self.t_op_ns = t_op_ns
+        # Un-programmed devices start in the high-resistance (0) state.
+        self._resistance = self.device.program(
+            np.zeros((n_rows, width), dtype=np.uint8), seed=self._rng
+        )
+        self.n_ops = 0
+        self.n_writes = 0
+        self.n_reads = 0
+
+    def _check_row(self, address: int) -> int:
+        if not 0 <= address < self.n_rows:
+            raise IndexError(f"row {address} out of range [0, {self.n_rows})")
+        return address
+
+    def write_row(self, address: int, bits: np.ndarray) -> None:
+        """Program one row with ``bits`` (re-draws device variability)."""
+        self._check_row(address)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.width,):
+            raise ValueError(f"bits must have shape ({self.width},)")
+        self._resistance[address] = self.device.program(bits, seed=self._rng)
+        self.n_writes += 1
+
+    def load(self, bit_matrix: np.ndarray, start_row: int = 0) -> None:
+        """Bulk-initialize consecutive rows from a bit matrix."""
+        bit_matrix = np.asarray(bit_matrix, dtype=np.uint8)
+        if bit_matrix.ndim != 2 or bit_matrix.shape[1] != self.width:
+            raise ValueError(f"bit_matrix must be (rows, {self.width})")
+        stop = start_row + bit_matrix.shape[0]
+        if stop > self.n_rows:
+            raise ValueError("bit_matrix does not fit in the array")
+        self._resistance[start_row:stop] = self.device.program(
+            bit_matrix, seed=self._rng
+        )
+        self.n_writes += bit_matrix.shape[0]
+
+    def read_row(self, address: int) -> np.ndarray:
+        """Normal (single-row) read: threshold against the read reference."""
+        self._check_row(address)
+        currents = self.device.read_current(
+            self._resistance[address], self.scouting.v_read, seed=self._rng
+        )
+        reference = float(
+            np.sqrt(
+                (self.scouting.v_read / self.device.r_high)
+                * (self.scouting.v_read / self.device.r_low)
+            )
+        )
+        self.n_reads += 1
+        return (currents > reference).astype(np.uint8)
+
+    def bitwise(
+        self, op: str, addresses: list[int] | tuple[int, ...], dest: int | None = None
+    ) -> np.ndarray:
+        """Apply ``op`` across the rows at ``addresses`` in one CIM step.
+
+        OR and AND accept two or more rows; XOR exactly two (Fig. 2c).
+        When ``dest`` is given, the result is written back into the
+        array (costing one programming step), mirroring how query plans
+        chain bitmap operations without leaving the CIM core.
+        """
+        check_in("op", op, ("or", "and", "xor"))
+        addresses = [self._check_row(a) for a in addresses]
+        if len(addresses) < 2:
+            raise ValueError("scouting logic needs at least two source rows")
+        if op == "xor" and len(addresses) != 2:
+            raise ValueError("XOR supports exactly two source rows")
+        stacked = self._resistance[np.asarray(addresses)]
+        result = self.scouting.compute(op, stacked)
+        self.n_ops += 1
+        if dest is not None:
+            self.write_row(dest, result)
+        return result
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def elapsed_ns(self) -> float:
+        """Total CIM time charged for the logical operations executed."""
+        return self.n_ops * self.t_op_ns
+
+    @property
+    def stats(self) -> dict[str, float]:
+        return {
+            "n_ops": self.n_ops,
+            "n_reads": self.n_reads,
+            "n_writes": self.n_writes,
+            "bit_ops": self.n_ops * self.width,
+            "elapsed_ns": self.elapsed_ns,
+        }

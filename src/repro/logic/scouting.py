@@ -1,0 +1,127 @@
+"""Scouting Logic gate realization (Xie et al., ISVLSI'17; Fig. 2c).
+
+Activating ``k`` rows of a binary memristive array with a read voltage
+``V_r`` yields, on each column, a current that is the sum of the
+per-device currents: a device storing 1 (R_L) contributes ``V_r / R_L``
+and a device storing 0 (R_H) contributes ``V_r / R_H``.  With ``t`` ones
+among the ``k`` activated cells the nominal current is::
+
+    I(t) = t * V_r / R_L + (k - t) * V_r / R_H
+
+Placing reference currents between adjacent ``I(t)`` levels realizes the
+logic gates (the paper's two-input example):
+
+* **OR**  — one reference between ``I(0) = 2 V_r / R_H`` and ``I(1)``;
+* **AND** — one reference between ``I(k-1)`` and ``I(k) = 2 V_r / R_L``;
+* **XOR** — two references bracketing ``I(1)`` (output = current inside
+  the window), defined for ``k = 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_in
+from repro.devices import BinaryMemristor
+from repro.logic.sense_amp import SenseAmplifier
+
+__all__ = ["ScoutingLogic"]
+
+_OPS = ("or", "and", "xor")
+
+
+class ScoutingLogic:
+    """Bitwise gates computed by multi-row reads of a binary array.
+
+    Parameters
+    ----------
+    device:
+        Binary memristor model (supplies R_L, R_H and noise).
+    v_read:
+        Read voltage applied to every activated row.
+    seed:
+        RNG seed or generator for device variability and read noise.
+    """
+
+    def __init__(
+        self,
+        device: BinaryMemristor | None = None,
+        v_read: float = 0.2,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.device = device if device is not None else BinaryMemristor()
+        if v_read <= 0:
+            raise ValueError("v_read must be positive")
+        self.v_read = v_read
+        self._rng = as_rng(seed)
+
+    # -- nominal current levels -------------------------------------------
+    def level_current(self, ones: int, activated: int) -> float:
+        """Nominal column current with ``ones`` set bits of ``activated``."""
+        if not 0 <= ones <= activated:
+            raise ValueError("ones must lie in [0, activated]")
+        i_one = self.v_read / self.device.r_low
+        i_zero = self.v_read / self.device.r_high
+        return ones * i_one + (activated - ones) * i_zero
+
+    def sense_amplifier(self, op: str, activated: int = 2) -> SenseAmplifier:
+        """Build the sense amplifier configured for ``op``.
+
+        References are placed at the geometric mean of the two adjacent
+        nominal levels, which balances the relative margin on both
+        sides (currents scale multiplicatively with device variation).
+        """
+        check_in("op", op, _OPS)
+        if activated < 2:
+            raise ValueError("scouting logic activates at least two rows")
+
+        def midpoint(low_level: float, high_level: float) -> float:
+            return float(np.sqrt(low_level * high_level))
+
+        if op == "or":
+            ref = midpoint(self.level_current(0, activated),
+                           self.level_current(1, activated))
+            return SenseAmplifier((ref,))
+        if op == "and":
+            ref = midpoint(self.level_current(activated - 1, activated),
+                           self.level_current(activated, activated))
+            return SenseAmplifier((ref,))
+        if activated != 2:
+            raise ValueError("XOR is defined for exactly two activated rows")
+        low = midpoint(self.level_current(0, 2), self.level_current(1, 2))
+        high = midpoint(self.level_current(1, 2), self.level_current(2, 2))
+        return SenseAmplifier((low, high))
+
+    # -- physical evaluation ----------------------------------------------
+    def column_currents(self, resistances: np.ndarray) -> np.ndarray:
+        """Noisy summed column currents for activated rows.
+
+        ``resistances`` has shape ``(k, width)``: ``k`` activated rows of
+        programmed device resistances.
+        """
+        resistances = np.asarray(resistances, dtype=float)
+        if resistances.ndim != 2:
+            raise ValueError("resistances must be 2-D (rows x columns)")
+        currents = self.device.read_current(resistances, self.v_read, seed=self._rng)
+        return currents.sum(axis=0)
+
+    def compute(self, op: str, resistances: np.ndarray) -> np.ndarray:
+        """Evaluate ``op`` across the activated rows; returns a bit vector."""
+        check_in("op", op, _OPS)
+        resistances = np.asarray(resistances, dtype=float)
+        activated = resistances.shape[0]
+        amplifier = self.sense_amplifier(op, activated)
+        currents = self.column_currents(resistances)
+        if op == "xor":
+            return amplifier.within_window(currents)
+        return amplifier.above(currents)
+
+    def compute_on_bits(self, op: str, bits: np.ndarray) -> np.ndarray:
+        """Program fresh devices from ``bits`` (k x width) and evaluate.
+
+        Convenience path used by tests and the truth-table benchmark;
+        the persistent-array path lives in
+        :class:`~repro.logic.engine.BitwiseEngine`.
+        """
+        resistances = self.device.program(np.asarray(bits), seed=self._rng)
+        return self.compute(op, resistances)

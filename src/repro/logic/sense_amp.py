@@ -1,0 +1,57 @@
+"""Current-mode sense amplifier with configurable reference currents.
+
+The sense amplifier compares a column current against one or more
+reference currents ``I_ref`` and reports the region the current falls
+into.  A single reference realizes a normal read / OR / AND decision; a
+pair of references realizes the XOR window (Fig. 2c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SenseAmplifier"]
+
+
+class SenseAmplifier:
+    """Classify currents against ascending reference levels.
+
+    Parameters
+    ----------
+    references:
+        One or more strictly ascending reference currents in amperes.
+    """
+
+    def __init__(self, references: tuple[float, ...] | list[float]) -> None:
+        references = tuple(float(r) for r in references)
+        if not references:
+            raise ValueError("at least one reference current is required")
+        if any(b <= a for a, b in zip(references, references[1:])):
+            raise ValueError("reference currents must be strictly ascending")
+        self.references = references
+
+    def region(self, currents: np.ndarray) -> np.ndarray:
+        """Index of the region each current falls into (0..len(refs))."""
+        currents = np.asarray(currents, dtype=float)
+        edges = np.asarray(self.references)
+        return np.searchsorted(edges, currents, side="right")
+
+    def above(self, currents: np.ndarray) -> np.ndarray:
+        """1 where the current exceeds the single reference.
+
+        Only valid for a one-reference amplifier (OR/AND/read configs).
+        """
+        if len(self.references) != 1:
+            raise ValueError("above() requires exactly one reference")
+        return (np.asarray(currents, dtype=float) > self.references[0]).astype(np.uint8)
+
+    def within_window(self, currents: np.ndarray) -> np.ndarray:
+        """1 where the current lies strictly between the two references.
+
+        Only valid for a two-reference amplifier (the XOR config).
+        """
+        if len(self.references) != 2:
+            raise ValueError("within_window() requires exactly two references")
+        currents = np.asarray(currents, dtype=float)
+        low, high = self.references
+        return ((currents > low) & (currents < high)).astype(np.uint8)

@@ -1,0 +1,7 @@
+"""Machine-learning applications of the CIM architecture (Sec. IV).
+
+* :mod:`repro.ml.nn` — minimal dense-network library with post-training
+  quantization and crossbar-mapped inference (Sec. IV.A).
+* :mod:`repro.ml.hd` — brain-inspired hyperdimensional computing with
+  exact and CIM execution back-ends (Sec. IV.B).
+"""

@@ -1,0 +1,46 @@
+"""Brain-inspired hyperdimensional computing (Sec. IV.B, system S10).
+
+Information is represented in d-dimensional (pseudo)random binary
+hypervectors; the MAP operations — Multiplication (component-wise XOR),
+Addition (component-wise majority) and Permutation — combine them, and
+an associative memory classifies query hypervectors against learned
+prototypes (Fig. 8).
+
+Two execution back-ends are provided: exact numpy, and a CIM back-end
+(:mod:`repro.ml.hd.cim`) that runs the dot-product search on a
+memristive crossbar and the bitwise MAP operations in Scouting Logic,
+matching Sec. IV.B.2 ("The CIM primitives used for HD computing
+implementation are dot-product and bitwise operations").
+"""
+
+from repro.ml.hd.associative import AssociativeMemory
+from repro.ml.hd.biosignal_encoder import BiosignalEncoder
+from repro.ml.hd.cim import CimAssociativeMemory, cim_bind, cim_bundle
+from repro.ml.hd.hypervector import (
+    bind,
+    bundle,
+    hamming_similarity,
+    permute,
+    random_hypervector,
+)
+from repro.ml.hd.item_memory import ItemMemory, LevelItemMemory
+from repro.ml.hd.pipeline import GestureRecognizer, LanguageRecognizer
+from repro.ml.hd.text_encoder import TextNgramEncoder
+
+__all__ = [
+    "AssociativeMemory",
+    "BiosignalEncoder",
+    "CimAssociativeMemory",
+    "GestureRecognizer",
+    "ItemMemory",
+    "LanguageRecognizer",
+    "LevelItemMemory",
+    "TextNgramEncoder",
+    "bind",
+    "bundle",
+    "cim_bind",
+    "cim_bundle",
+    "hamming_similarity",
+    "permute",
+    "random_hypervector",
+]

@@ -1,0 +1,142 @@
+"""Associative memory: training and nearest-prototype classification.
+
+Fig. 8: "During training, the associative memory updates the learned
+patterns with new hypervectors, while during classification it computes
+distances between a query hypervector and learned patterns."
+
+Training accumulates per-class component counts and thresholds them
+into a binary prototype (the bundle of all training hypervectors of
+that class), so prototypes can be updated incrementally.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.ml.hd.hypervector import hamming_similarity
+
+__all__ = ["AssociativeMemory"]
+
+
+class AssociativeMemory:
+    """Bundled class prototypes with Hamming-distance search.
+
+    Parameters
+    ----------
+    d:
+        Hypervector dimensionality.
+    seed:
+        RNG seed or generator for majority tie-breaking when
+        prototypes are materialized.
+    """
+
+    def __init__(self, d: int, seed: int | np.random.Generator | None = None) -> None:
+        if d < 1:
+            raise ValueError("d must be >= 1")
+        self.d = d
+        self._rng = as_rng(seed)
+        self._counts: dict[Hashable, np.ndarray] = {}
+        self._totals: dict[Hashable, int] = {}
+
+    # -- training ------------------------------------------------------------
+    def train(self, label: Hashable, hypervector: np.ndarray) -> None:
+        """Accumulate one training hypervector into a class."""
+        hypervector = np.asarray(hypervector)
+        if hypervector.shape != (self.d,):
+            raise ValueError(f"hypervector must have shape ({self.d},)")
+        if label not in self._counts:
+            self._counts[label] = np.zeros(self.d, dtype=np.int64)
+            self._totals[label] = 0
+        self._counts[label] += hypervector.astype(np.int64)
+        self._totals[label] += 1
+
+    def train_many(self, labels, hypervectors: np.ndarray) -> None:
+        """Accumulate a labelled batch."""
+        hypervectors = np.asarray(hypervectors)
+        for label, hv in zip(labels, hypervectors):
+            self.train(label, hv)
+
+    def train_counts(self, label: Hashable, counts: np.ndarray, total: int) -> None:
+        """Accumulate raw bundle counts (``total`` constituent vectors).
+
+        Used when the encoder exposes component counts (e.g. n-gram
+        sums over a training stream): accumulating counts instead of
+        already-thresholded hypervectors avoids the double majority
+        quantization and matches how the paper's language prototypes
+        are trained on whole corpora.
+        """
+        counts = np.asarray(counts)
+        if counts.shape != (self.d,):
+            raise ValueError(f"counts must have shape ({self.d},)")
+        if total < 1:
+            raise ValueError("total must be >= 1")
+        if np.any(counts < 0) or np.any(counts > total):
+            raise ValueError("counts must lie in [0, total]")
+        if label not in self._counts:
+            self._counts[label] = np.zeros(self.d, dtype=np.int64)
+            self._totals[label] = 0
+        self._counts[label] += counts.astype(np.int64)
+        self._totals[label] += total
+
+    # -- prototypes ------------------------------------------------------------
+    @property
+    def labels(self) -> list[Hashable]:
+        return list(self._counts)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self._counts)
+
+    def prototype(self, label: Hashable) -> np.ndarray:
+        """Majority-bundled binary prototype of one class."""
+        if label not in self._counts:
+            raise KeyError(f"unknown class {label!r}")
+        counts = self._counts[label]
+        half = self._totals[label] / 2.0
+        proto = (counts > half).astype(np.uint8)
+        ties = counts == half
+        if np.any(ties):
+            proto[ties] = self._rng.integers(
+                0, 2, size=int(ties.sum()), dtype=np.uint8
+            )
+        return proto
+
+    def prototype_matrix(self) -> tuple[list[Hashable], np.ndarray]:
+        """All prototypes stacked, with their label order."""
+        if not self._counts:
+            raise ValueError("associative memory is untrained")
+        labels = self.labels
+        matrix = np.stack([self.prototype(label) for label in labels])
+        return labels, matrix
+
+    # -- classification -------------------------------------------------------
+    def similarities(self, query: np.ndarray) -> dict[Hashable, float]:
+        """Hamming similarity of a query to every class prototype."""
+        query = np.asarray(query)
+        if query.shape != (self.d,):
+            raise ValueError(f"query must have shape ({self.d},)")
+        return {
+            label: hamming_similarity(query, self.prototype(label))
+            for label in self._counts
+        }
+
+    def classify(self, query: np.ndarray) -> Hashable:
+        """Label of the most similar prototype."""
+        scores = self.similarities(query)
+        if not scores:
+            raise ValueError("associative memory is untrained")
+        return max(scores, key=scores.get)
+
+    def accuracy(self, queries: np.ndarray, labels) -> float:
+        """Fraction of queries classified as their true label."""
+        labels = list(labels)
+        if len(labels) == 0:
+            raise ValueError("no queries supplied")
+        hits = sum(
+            self.classify(query) == label
+            for query, label in zip(np.asarray(queries), labels)
+        )
+        return hits / len(labels)

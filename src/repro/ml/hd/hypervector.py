@@ -1,0 +1,107 @@
+"""Binary hypervectors and the MAP operations.
+
+Sec. IV.B.1: hypervectors are "d-dimensional holographic
+(pseudo)random vectors with independent and identically distributed
+components"; with d in the thousands there exist very many
+quasi-orthogonal hypervectors.  The MAP operations are:
+
+* **Multiplication** — component-wise XOR (addition modulo 2);
+* **Addition** — component-wise majority, "with ties broken at random";
+* **Permutation** — component shuffle (cyclic shift here, the standard
+  choice that is cheap in hardware).
+
+All operations are fixed-width: the result is again a d-bit vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, normalized_hamming
+
+__all__ = [
+    "random_hypervector",
+    "bind",
+    "bundle",
+    "permute",
+    "hamming_similarity",
+]
+
+
+def random_hypervector(
+    d: int, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """An i.i.d. uniform binary hypervector of dimension ``d``."""
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    rng = as_rng(seed)
+    return rng.integers(0, 2, size=d, dtype=np.uint8)
+
+
+def _check_binary(vector: np.ndarray) -> np.ndarray:
+    vector = np.asarray(vector)
+    if vector.dtype != np.uint8:
+        vector = vector.astype(np.uint8)
+    return vector
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """MAP multiplication: component-wise XOR.
+
+    Binding is an involution (``bind(bind(a, b), b) == a``) and maps
+    inputs to a vector quasi-orthogonal to both.
+    """
+    a = _check_binary(a)
+    b = _check_binary(b)
+    if a.shape != b.shape:
+        raise ValueError("hypervectors must share a shape")
+    return np.bitwise_xor(a, b)
+
+
+def bundle(
+    hypervectors: np.ndarray | list[np.ndarray],
+    seed: int | np.random.Generator | None = None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """MAP addition: component-wise (optionally weighted) majority.
+
+    Ties — possible when the (weighted) count is exactly half — are
+    broken at random, as the paper specifies.  The result is maximally
+    similar to each input, which is what makes bundling the HD
+    aggregation primitive.
+    """
+    stacked = np.asarray(hypervectors, dtype=np.float64)
+    if stacked.ndim != 2:
+        raise ValueError("bundle expects a stack of hypervectors")
+    if len(stacked) < 1:
+        raise ValueError("bundle needs at least one hypervector")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (len(stacked),):
+            raise ValueError("weights must have one entry per hypervector")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        totals = weights @ stacked
+        half = weights.sum() / 2.0
+    else:
+        totals = stacked.sum(axis=0)
+        half = len(stacked) / 2.0
+    result = (totals > half).astype(np.uint8)
+    ties = totals == half
+    if np.any(ties):
+        rng = as_rng(seed)
+        result[ties] = rng.integers(0, 2, size=int(ties.sum()), dtype=np.uint8)
+    return result
+
+
+def permute(vector: np.ndarray, shifts: int = 1) -> np.ndarray:
+    """MAP permutation: cyclic shift by ``shifts`` positions."""
+    return np.roll(_check_binary(vector), shifts)
+
+
+def hamming_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Similarity ``1 - Hamming distance / d`` in [0, 1].
+
+    Unrelated random hypervectors score ~0.5; identical ones score 1.
+    """
+    return 1.0 - normalized_hamming(a, b)

@@ -1,0 +1,118 @@
+"""Crossbar-mapped inference: every dense layer becomes a CIM core.
+
+Sec. IV.A.2: "The multiple layers of a standard fully connected neural
+network ... can be mapped to CIM cores comprising memristive crossbar
+arrays.  Even though the matrix-vector multiplications are performed in
+the analog domain using Ohm's law and Kirchhoff's current summation
+law, DACs are used to input the data to each crossbar array and ADCs
+are used to digitize the resulting current."
+
+Biases and activation functions execute digitally between crossbars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crossbar import CrossbarOperator
+from repro.devices import PcmDevice
+from repro.energy.iot import CimInferenceCost
+from repro.ml.nn.layers import ACTIVATIONS, softmax
+from repro.ml.nn.network import Sequential
+from repro._util import as_rng
+
+__all__ = ["CimNetwork"]
+
+
+class CimNetwork:
+    """A :class:`Sequential` network executed on memristive crossbars.
+
+    Parameters
+    ----------
+    network:
+        The trained (and typically quantized) source network; weights
+        are programmed into differential PCM pairs at construction.
+    device:
+        PCM device model shared by all layers.
+    dac_bits / adc_bits:
+        Converter resolutions around every crossbar.
+    tile_shape:
+        Physical array bound for tiling large layers.
+    seed:
+        RNG seed or generator for the stochastic device behaviour.
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        device: PcmDevice | None = None,
+        dac_bits: int | None = 8,
+        adc_bits: int | None = 8,
+        tile_shape: tuple[int, int] = (1024, 1024),
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        rng = as_rng(seed)
+        self.source = network
+        self._activations = [layer.activation for layer in network.layers]
+        self._biases = [layer.bias.copy() for layer in network.layers]
+        self.operators = [
+            CrossbarOperator(
+                layer.weights,
+                device=device,
+                dac_bits=dac_bits,
+                adc_bits=adc_bits,
+                tile_shape=tile_shape,
+                seed=rng,
+            )
+            for layer in network.layers
+        ]
+
+    def forward_one(self, features: np.ndarray) -> np.ndarray:
+        """Logits for a single sample (analog layer by analog layer)."""
+        current = np.asarray(features, dtype=float)
+        for operator, bias, activation in zip(
+            self.operators, self._biases, self._activations
+        ):
+            pre = operator.matvec(current) + bias
+            fn, _ = ACTIVATIONS[activation]
+            current = fn(pre)
+        return current
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Logits for a batch; samples stream through one at a time."""
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim == 1:
+            return self.forward_one(inputs)
+        return np.stack([self.forward_one(sample) for sample in inputs])
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        return softmax(self.forward(inputs))
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(inputs), axis=-1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        return float(np.mean(self.predict(inputs) == np.asarray(labels)))
+
+    def advance_time(self, seconds: float) -> None:
+        """Accumulate PCM drift on every layer's arrays."""
+        for operator in self.operators:
+            operator.advance_time(seconds)
+
+    def inference_energy_j(self, cost: CimInferenceCost | None = None) -> float:
+        """Energy of one forward pass under a crossbar cost model."""
+        cost = cost or CimInferenceCost()
+        total = 0.0
+        for operator in self.operators:
+            m, n = operator.shape
+            total += cost.fc_layer_energy_j(n, m)
+        return total
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Aggregated operation counters across all layers."""
+        totals: dict[str, int] = {}
+        for operator in self.operators:
+            for key, value in operator.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

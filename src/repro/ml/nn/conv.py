@@ -1,0 +1,247 @@
+"""Convolutional inference on CIM crossbars via im2col.
+
+Sec. IV.A.2: "The multiple layers of a standard fully connected neural
+network (FCNN) or convolutional neural network (CNN) can be mapped to
+CIM cores comprising memristive crossbar arrays."  The standard mapping
+stores the kernel bank as a ``(out_channels, k*k*in_channels)`` matrix
+in the crossbar and streams image patches (im2col) through it as input
+voltages — every output pixel is one analog matrix-vector product.
+
+:class:`ConvNet` is a self-contained conv -> ReLU -> flatten -> dense
+classifier with its own SGD trainer (the generic
+:class:`~repro.ml.nn.Sequential` trainer handles dense stacks only);
+:class:`CimConvNet` executes a trained instance on crossbars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.crossbar import CrossbarOperator
+from repro.devices import PcmDevice
+from repro.ml.nn.layers import relu, relu_grad, softmax
+
+__all__ = ["Conv2d", "ConvNet", "CimConvNet", "im2col"]
+
+
+def im2col(images: np.ndarray, kernel: int) -> np.ndarray:
+    """Extract all valid kernel-sized patches.
+
+    ``images`` has shape ``(n, h, w)``; the result has shape
+    ``(n, h - k + 1, w - k + 1, k * k)`` with patches flattened
+    row-major — matching the kernel-matrix layout of :class:`Conv2d`.
+    """
+    images = np.asarray(images, dtype=float)
+    if images.ndim != 3:
+        raise ValueError("images must be (n, h, w)")
+    n, h, w = images.shape
+    if kernel < 1 or kernel > min(h, w):
+        raise ValueError("kernel must fit inside the image")
+    out_h = h - kernel + 1
+    out_w = w - kernel + 1
+    strides = images.strides
+    windows = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(n, out_h, out_w, kernel, kernel),
+        strides=(strides[0], strides[1], strides[2], strides[1], strides[2]),
+        writeable=False,
+    )
+    return windows.reshape(n, out_h, out_w, kernel * kernel)
+
+
+class Conv2d:
+    """A single-input-channel 2-D convolution (valid padding).
+
+    Parameters
+    ----------
+    n_filters:
+        Output channels.
+    kernel:
+        Square kernel side.
+    seed:
+        RNG seed for He initialization.
+    """
+
+    def __init__(
+        self,
+        n_filters: int,
+        kernel: int = 3,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_filters < 1 or kernel < 1:
+            raise ValueError("n_filters and kernel must be >= 1")
+        rng = as_rng(seed)
+        self.kernel = kernel
+        fan_in = kernel * kernel
+        self.weights = rng.standard_normal((n_filters, fan_in)) * np.sqrt(2.0 / fan_in)
+        self.bias = np.zeros(n_filters)
+
+    @property
+    def n_filters(self) -> int:
+        return self.weights.shape[0]
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Feature maps ``(n, out_h, out_w, filters)`` (pre-activation)."""
+        patches = im2col(images, self.kernel)
+        return patches @ self.weights.T + self.bias
+
+
+class ConvNet:
+    """conv -> ReLU -> flatten -> dense classifier with SGD training.
+
+    Parameters
+    ----------
+    image_size:
+        Input side length (square, single channel).
+    n_classes:
+        Output classes.
+    n_filters / kernel:
+        Convolution configuration.
+    seed:
+        RNG seed for initialization.
+    """
+
+    def __init__(
+        self,
+        image_size: int,
+        n_classes: int,
+        n_filters: int = 8,
+        kernel: int = 3,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        rng = as_rng(seed)
+        self.image_size = image_size
+        self.conv = Conv2d(n_filters, kernel, seed=rng)
+        out_side = image_size - kernel + 1
+        self.flat_dim = out_side * out_side * n_filters
+        self.head_weights = rng.standard_normal((n_classes, self.flat_dim)) * np.sqrt(
+            2.0 / self.flat_dim
+        )
+        self.head_bias = np.zeros(n_classes)
+
+    # -- forward ---------------------------------------------------------------
+    def _features(self, images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        pre = self.conv.forward(images)
+        post = relu(pre)
+        return pre, post.reshape(len(images), -1)
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Class logits for a batch of images."""
+        _, flat = self._features(np.asarray(images, dtype=float))
+        return flat @ self.head_weights.T + self.head_bias
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(images), axis=-1)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        return float(np.mean(self.predict(images) == np.asarray(labels)))
+
+    # -- training ----------------------------------------------------------------
+    def train(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 20,
+        batch_size: int = 32,
+        learning_rate: float = 0.05,
+        seed: int | np.random.Generator | None = None,
+    ) -> list[float]:
+        """Mini-batch SGD with softmax cross-entropy; returns epoch losses."""
+        if epochs < 1 or batch_size < 1 or learning_rate <= 0:
+            raise ValueError("invalid training configuration")
+        images = np.asarray(images, dtype=float)
+        labels = np.asarray(labels)
+        rng = as_rng(seed)
+        kernel = self.conv.kernel
+        losses = []
+        for _ in range(epochs):
+            order = rng.permutation(len(images))
+            epoch_loss, n_batches = 0.0, 0
+            for start in range(0, len(images), batch_size):
+                idx = order[start : start + batch_size]
+                x, y = images[idx], labels[idx]
+                patches = im2col(x, kernel)
+                conv_pre = patches @ self.conv.weights.T + self.conv.bias
+                conv_post = relu(conv_pre)
+                flat = conv_post.reshape(len(x), -1)
+                logits = flat @ self.head_weights.T + self.head_bias
+
+                probabilities = softmax(logits)
+                picked = np.clip(probabilities[np.arange(len(y)), y], 1e-12, None)
+                epoch_loss += float(-np.mean(np.log(picked)))
+                n_batches += 1
+
+                delta = probabilities
+                delta[np.arange(len(y)), y] -= 1.0
+                delta /= len(y)
+                grad_head_w = delta.T @ flat
+                grad_head_b = delta.sum(axis=0)
+                delta_flat = delta @ self.head_weights
+                delta_conv = delta_flat.reshape(conv_post.shape) * relu_grad(conv_pre)
+                grad_conv_w = np.einsum("nijf,nijp->fp", delta_conv, patches)
+                grad_conv_b = delta_conv.sum(axis=(0, 1, 2))
+
+                self.head_weights -= learning_rate * grad_head_w
+                self.head_bias -= learning_rate * grad_head_b
+                self.conv.weights -= learning_rate * grad_conv_w
+                self.conv.bias -= learning_rate * grad_conv_b
+            losses.append(epoch_loss / n_batches)
+        return losses
+
+
+class CimConvNet:
+    """A trained :class:`ConvNet` executed on memristive crossbars.
+
+    The kernel bank and the dense head each live in one
+    :class:`~repro.crossbar.CrossbarOperator`; every output pixel of
+    the feature map is one analog MVM over its im2col patch.
+    """
+
+    def __init__(
+        self,
+        network: ConvNet,
+        device: PcmDevice | None = None,
+        dac_bits: int | None = 8,
+        adc_bits: int | None = 8,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        rng = as_rng(seed)
+        self.source = network
+        self.kernel = network.conv.kernel
+        self._conv_bias = network.conv.bias.copy()
+        self._head_bias = network.head_bias.copy()
+        self.conv_operator = CrossbarOperator(
+            network.conv.weights, device=device, dac_bits=dac_bits,
+            adc_bits=adc_bits, seed=rng,
+        )
+        self.head_operator = CrossbarOperator(
+            network.head_weights, device=device, dac_bits=dac_bits,
+            adc_bits=adc_bits, seed=rng,
+        )
+
+    def forward_one(self, image: np.ndarray) -> np.ndarray:
+        """Logits for a single image, patch by patch through the array."""
+        patches = im2col(image[None], self.kernel)[0]
+        out_h, out_w, _ = patches.shape
+        feature = np.empty((out_h, out_w, self.source.conv.n_filters))
+        for i in range(out_h):
+            for j in range(out_w):
+                feature[i, j] = self.conv_operator.matvec(patches[i, j]) + self._conv_bias
+        flat = relu(feature).reshape(-1)
+        return self.head_operator.matvec(flat) + self._head_bias
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=float)
+        return np.array([int(np.argmax(self.forward_one(im))) for im in images])
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        return float(np.mean(self.predict(images) == np.asarray(labels)))
+
+    @property
+    def stats(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for operator in (self.conv_operator, self.head_operator):
+            for key, value in operator.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

@@ -1,0 +1,91 @@
+"""Dense layers and activation functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+
+__all__ = ["Dense", "relu", "relu_grad", "softmax", "ACTIVATIONS"]
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(values, 0.0)
+
+
+def relu_grad(values: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU evaluated at the pre-activation."""
+    return (values > 0.0).astype(float)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def _identity(values: np.ndarray) -> np.ndarray:
+    return values
+
+
+def _identity_grad(values: np.ndarray) -> np.ndarray:
+    return np.ones_like(values)
+
+
+ACTIVATIONS = {
+    "relu": (relu, relu_grad),
+    "linear": (_identity, _identity_grad),
+}
+
+
+class Dense:
+    """A fully-connected layer ``y = activation(W x + b)``.
+
+    Parameters
+    ----------
+    n_inputs, n_outputs:
+        Layer dimensions; the weight matrix has shape
+        ``(n_outputs, n_inputs)``.
+    activation:
+        ``"relu"`` or ``"linear"`` (the output layer is linear; softmax
+        lives in the loss).
+    seed:
+        RNG seed or generator for He-style weight initialization.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: int,
+        activation: str = "relu",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_inputs < 1 or n_outputs < 1:
+            raise ValueError("layer dimensions must be >= 1")
+        if activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        rng = as_rng(seed)
+        self.weights = rng.standard_normal((n_outputs, n_inputs)) * np.sqrt(
+            2.0 / n_inputs
+        )
+        self.bias = np.zeros(n_outputs)
+        self.activation = activation
+
+    @property
+    def n_inputs(self) -> int:
+        return self.weights.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.weights.shape[0]
+
+    def pre_activation(self, inputs: np.ndarray) -> np.ndarray:
+        """``W x + b`` for a batch (rows are samples)."""
+        return np.asarray(inputs, dtype=float) @ self.weights.T + self.bias
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        fn, _ = ACTIVATIONS[self.activation]
+        return fn(self.pre_activation(inputs))

@@ -1,0 +1,68 @@
+"""Sequential dense network: forward pass and prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.nn.layers import Dense, softmax
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A stack of :class:`Dense` layers ending in logits."""
+
+    def __init__(self, layers: list[Dense]) -> None:
+        if not layers:
+            raise ValueError("network needs at least one layer")
+        for upstream, downstream in zip(layers, layers[1:]):
+            if upstream.n_outputs != downstream.n_inputs:
+                raise ValueError(
+                    f"layer mismatch: {upstream.n_outputs} outputs feed "
+                    f"{downstream.n_inputs} inputs"
+                )
+        self.layers = list(layers)
+
+    @property
+    def layer_dims(self) -> list[int]:
+        """The dimension chain input -> ... -> output."""
+        dims = [self.layers[0].n_inputs]
+        dims.extend(layer.n_outputs for layer in self.layers)
+        return dims
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Logits for a batch (rows are samples)."""
+        activations = np.asarray(inputs, dtype=float)
+        for layer in self.layers:
+            activations = layer.forward(activations)
+        return activations
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        return softmax(self.forward(inputs))
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(inputs), axis=-1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        predictions = self.predict(inputs)
+        return float(np.mean(predictions == np.asarray(labels)))
+
+    @classmethod
+    def mlp(
+        cls,
+        layer_dims: list[int] | tuple[int, ...],
+        seed: int | np.random.Generator | None = None,
+    ) -> "Sequential":
+        """Build an MLP from a dimension chain; hidden layers use ReLU."""
+        if len(layer_dims) < 2:
+            raise ValueError("need at least input and output dimensions")
+        from repro._util import as_rng
+
+        rng = as_rng(seed)
+        layers = []
+        for i, (n_in, n_out) in enumerate(zip(layer_dims, layer_dims[1:])):
+            last = i == len(layer_dims) - 2
+            layers.append(
+                Dense(n_in, n_out, activation="linear" if last else "relu", seed=rng)
+            )
+        return cls(layers)

@@ -1,0 +1,46 @@
+"""Post-training uniform quantization.
+
+Sec. IV.A.2: "it has recently been demonstrated that it is possible to
+perform deep learning inference with limited precision ... one can
+achieve comparable classification accuracy as networks operating with
+floating point precision" (Zhou et al., INQ).  The crossbar dictates
+the precision budget (conductance levels, DAC/ADC bits); this module
+provides symmetric per-tensor weight quantization and the accompanying
+accuracy bookkeeping.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.ml.nn.network import Sequential
+
+__all__ = ["quantize_symmetric", "quantize_network"]
+
+
+def quantize_symmetric(values: np.ndarray, bits: int) -> np.ndarray:
+    """Symmetric uniform quantization to ``2**bits - 1`` signed levels.
+
+    The scale maps the largest magnitude to the top level; a zero
+    tensor is returned unchanged.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    values = np.asarray(values, dtype=float)
+    peak = float(np.max(np.abs(values))) if values.size else 0.0
+    if peak == 0.0:
+        return values.copy()
+    levels = 2 ** (bits - 1) - 1 if bits > 1 else 1
+    step = peak / levels
+    return np.round(values / step) * step
+
+
+def quantize_network(network: Sequential, weight_bits: int) -> Sequential:
+    """Return a copy of ``network`` with quantized weights and biases."""
+    quantized = copy.deepcopy(network)
+    for layer in quantized.layers:
+        layer.weights = quantize_symmetric(layer.weights, weight_bits)
+        layer.bias = quantize_symmetric(layer.bias, weight_bits)
+    return quantized

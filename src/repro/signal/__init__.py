@@ -1,0 +1,13 @@
+"""Compressed sensing and recovery (Sec. III.B, system S7).
+
+* :class:`CsProblem` — the observation model ``y = A x0 + w``.
+* :func:`amp_recover` — first-order approximate message passing with a
+  pluggable matrix-vector backend, so the same solver runs on the exact
+  :class:`~repro.crossbar.DenseOperator` or on a noisy
+  :class:`~repro.crossbar.CrossbarOperator` (the Fig. 6 architecture).
+"""
+
+from repro.signal.amp import AmpResult, amp_recover, soft_threshold
+from repro.signal.cs import CsProblem
+
+__all__ = ["AmpResult", "CsProblem", "amp_recover", "soft_threshold"]

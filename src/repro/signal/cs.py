@@ -1,0 +1,91 @@
+"""Compressed-sensing problem setup: ``y = A x0 + w`` with M < N."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, nmse
+from repro.workloads.signals import (
+    gaussian_measurement_matrix,
+    measure,
+    sparse_signal,
+)
+
+__all__ = ["CsProblem"]
+
+
+@dataclass
+class CsProblem:
+    """One compressed-sensing instance.
+
+    Attributes
+    ----------
+    matrix:
+        Measurement matrix ``A`` of shape ``(m, n)``.
+    signal:
+        Ground-truth sparse signal ``x0`` of length ``n``.
+    measurements:
+        Observed vector ``y`` of length ``m``.
+    noise_std:
+        Standard deviation of the measurement noise ``w``.
+    """
+
+    matrix: np.ndarray
+    signal: np.ndarray
+    measurements: np.ndarray
+    noise_std: float
+
+    def __post_init__(self) -> None:
+        m, n = self.matrix.shape
+        if self.signal.shape != (n,):
+            raise ValueError("signal length must match matrix columns")
+        if self.measurements.shape != (m,):
+            raise ValueError("measurement length must match matrix rows")
+        if m >= n:
+            raise ValueError("compressed sensing requires M < N")
+
+    @property
+    def m(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def sparsity(self) -> int:
+        """Number of non-zero entries in the ground truth."""
+        return int(np.count_nonzero(self.signal))
+
+    @property
+    def undersampling(self) -> float:
+        """The measurement rate delta = M / N."""
+        return self.m / self.n
+
+    def recovery_nmse(self, estimate: np.ndarray) -> float:
+        """NMSE of an estimate against the ground-truth signal."""
+        return nmse(estimate, self.signal)
+
+    @classmethod
+    def generate(
+        cls,
+        n: int = 512,
+        m: int = 256,
+        k: int = 24,
+        noise_std: float = 0.0,
+        amplitude: str = "gaussian",
+        seed: int | np.random.Generator | None = None,
+    ) -> "CsProblem":
+        """Draw a random instance with a Gaussian measurement matrix."""
+        rng = as_rng(seed)
+        matrix = gaussian_measurement_matrix(m, n, seed=rng)
+        signal = sparse_signal(n, k, amplitude=amplitude, seed=rng)
+        measurements = measure(matrix, signal, noise_std=noise_std, seed=rng)
+        return cls(
+            matrix=matrix,
+            signal=signal,
+            measurements=measurements,
+            noise_std=noise_std,
+        )

@@ -1,0 +1,70 @@
+"""Sparse signals and measurement matrices for compressed sensing.
+
+Sec. III.B: the observation model is ``y = A x0 + w`` with a known
+measurement matrix ``A`` (M x N, M < N), a sparse signal ``x0`` and
+measurement noise ``w``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+
+__all__ = ["sparse_signal", "gaussian_measurement_matrix", "measure"]
+
+
+def sparse_signal(
+    n: int,
+    k: int,
+    amplitude: str = "gaussian",
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """A k-sparse length-n signal with random support.
+
+    ``amplitude`` selects the non-zero distribution: ``"gaussian"``
+    (standard normal) or ``"rademacher"`` (random +-1, the hardest case
+    for thresholding recovery).
+    """
+    if not 1 <= k <= n:
+        raise ValueError("k must lie in [1, n]")
+    if amplitude not in ("gaussian", "rademacher"):
+        raise ValueError("amplitude must be 'gaussian' or 'rademacher'")
+    rng = as_rng(seed)
+    signal = np.zeros(n)
+    support = rng.choice(n, size=k, replace=False)
+    if amplitude == "gaussian":
+        signal[support] = rng.standard_normal(k)
+    else:
+        signal[support] = rng.choice((-1.0, 1.0), size=k)
+    return signal
+
+
+def gaussian_measurement_matrix(
+    m: int, n: int, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """An M x N i.i.d. Gaussian matrix with unit-norm expected columns.
+
+    Entries are N(0, 1/M) so that ``E ||A e_i||^2 = 1`` — the standard
+    AMP normalization.
+    """
+    if m < 1 or n < 1:
+        raise ValueError("m and n must be >= 1")
+    rng = as_rng(seed)
+    return rng.standard_normal((m, n)) / np.sqrt(m)
+
+
+def measure(
+    matrix: np.ndarray,
+    signal: np.ndarray,
+    noise_std: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Apply the observation model ``y = A x0 + w``."""
+    if noise_std < 0:
+        raise ValueError("noise_std must be non-negative")
+    y = np.asarray(matrix) @ np.asarray(signal)
+    if noise_std > 0:
+        rng = as_rng(seed)
+        y = y + rng.normal(0.0, noise_std, size=y.shape)
+    return y

@@ -1,0 +1,49 @@
+"""The Fig. 2(a) example dataset: newly discovered stars.
+
+Eight entries (A..H), each with a distance, a size class and a
+discovery year; Fig. 2(b) encodes them into seven bitmap rows:
+
+* distance: *far* (> 40) / *near* (<= 40),
+* size: *large* / *medium* / *small*,
+* year: *recent* (>= 2010) / *old* (< 2010).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.bitmap import BitmapIndex
+
+__all__ = ["STAR_CATALOG", "star_bitmap_index", "FAR_DISTANCE_THRESHOLD"]
+
+FAR_DISTANCE_THRESHOLD = 40
+RECENT_YEAR_THRESHOLD = 2010
+
+#: The Fig. 2(a) table: entry -> (distance, size, year).
+STAR_CATALOG: dict[str, tuple[int, str, int]] = {
+    "A": (55, "large", 2016),
+    "B": (23, "medium", 2014),
+    "C": (43, "small", 2015),
+    "D": (60, "medium", 2016),
+    "E": (25, "medium", 2000),
+    "F": (34, "medium", 2001),
+    "G": (18, "small", 2012),
+    "H": (30, "small", 2011),
+}
+
+
+def star_bitmap_index() -> BitmapIndex:
+    """Build the seven-row bitmap index of Fig. 2(b)."""
+    entries = list(STAR_CATALOG)
+    distance = np.array([STAR_CATALOG[e][0] for e in entries])
+    size = np.array([STAR_CATALOG[e][1] for e in entries])
+    year = np.array([STAR_CATALOG[e][2] for e in entries])
+    index = BitmapIndex(n_entries=len(entries), entry_labels=entries)
+    index.add_bin("dist:far", distance > FAR_DISTANCE_THRESHOLD)
+    index.add_bin("dist:near", distance <= FAR_DISTANCE_THRESHOLD)
+    index.add_bin("size:large", size == "large")
+    index.add_bin("size:medium", size == "medium")
+    index.add_bin("size:small", size == "small")
+    index.add_bin("year:recent", year >= RECENT_YEAR_THRESHOLD)
+    index.add_bin("year:old", year < RECENT_YEAR_THRESHOLD)
+    return index

@@ -1,0 +1,77 @@
+"""TPC-H-like lineitem generator and the query-06 reference.
+
+The paper's QUERY SELECT kernel executes TPC-H query-06, a conjunctive
+range filter with an aggregate::
+
+    SELECT sum(l_extendedprice * l_discount) AS revenue
+    FROM lineitem
+    WHERE l_shipdate >= date '1994-01-01'
+      AND l_shipdate <  date '1995-01-01'
+      AND l_discount BETWEEN 0.06 - 0.01 AND 0.06 + 0.01
+      AND l_quantity < 24;
+
+We cannot ship the TPC-H data generator, so :func:`generate_lineitem`
+draws the four relevant columns with TPC-H-like marginals (uniform ship
+year 1992-1998, discount 0.00-0.10 in cent steps, quantity 1-50).  The
+selection structure — what the bitmap index and the CIM bitwise engine
+see — is identical to the benchmark's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+
+__all__ = [
+    "generate_lineitem",
+    "query6_mask",
+    "query6_reference",
+    "Q6_SHIP_YEAR",
+    "Q6_DISCOUNT",
+    "Q6_QUANTITY_LIMIT",
+]
+
+Q6_SHIP_YEAR = 1994
+Q6_DISCOUNT = 0.06
+Q6_QUANTITY_LIMIT = 24
+
+_SHIP_YEARS = np.arange(1992, 1999)
+_DISCOUNT_STEPS = np.round(np.arange(0.0, 0.11, 0.01), 2)
+
+
+def generate_lineitem(
+    n_rows: int, seed: int | np.random.Generator | None = None
+) -> dict[str, np.ndarray]:
+    """Generate the query-06 columns of a lineitem-like table.
+
+    Returns a column dictionary with ``ship_year`` (int), ``discount``
+    (float, cent steps), ``quantity`` (int, 1..50) and
+    ``extendedprice`` (float).
+    """
+    if n_rows < 1:
+        raise ValueError("n_rows must be >= 1")
+    rng = as_rng(seed)
+    return {
+        "ship_year": rng.choice(_SHIP_YEARS, size=n_rows),
+        "discount": rng.choice(_DISCOUNT_STEPS, size=n_rows),
+        "quantity": rng.integers(1, 51, size=n_rows),
+        "extendedprice": np.round(rng.uniform(900.0, 105_000.0, size=n_rows), 2),
+    }
+
+
+def query6_mask(table: dict[str, np.ndarray]) -> np.ndarray:
+    """Boolean selection mask of query-06 computed directly (reference)."""
+    discount = table["discount"]
+    return (
+        (table["ship_year"] == Q6_SHIP_YEAR)
+        & (discount >= Q6_DISCOUNT - 0.01 - 1e-9)
+        & (discount <= Q6_DISCOUNT + 0.01 + 1e-9)
+        & (table["quantity"] < Q6_QUANTITY_LIMIT)
+    )
+
+
+def query6_reference(table: dict[str, np.ndarray]) -> float:
+    """Reference revenue aggregate of query-06."""
+    mask = query6_mask(table)
+    return float(np.sum(table["extendedprice"][mask] * table["discount"][mask]))

@@ -1,0 +1,100 @@
+"""Tests of QUERY SELECT on both back-ends, including TPC-H Q6."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import BitmapIndex, QuerySelect, tpch_query6
+from repro.workloads import generate_lineitem, query6_reference
+from repro.workloads.tpch import query6_mask
+
+
+@pytest.fixture
+def index(rng):
+    idx = BitmapIndex(n_entries=128)
+    for name in ("b0", "b1", "b2", "b3"):
+        idx.add_bin(name, rng.integers(0, 2, 128))
+    return idx
+
+
+class TestReference:
+    def test_single_group_is_union(self, index):
+        query = QuerySelect([["b0", "b1"]])
+        expected = index.row("b0") | index.row("b1")
+        assert np.array_equal(query.run_reference(index), expected)
+
+    def test_conjunction_of_groups(self, index):
+        query = QuerySelect([["b0", "b1"], ["b2"], ["b3"]])
+        expected = (index.row("b0") | index.row("b1")) & index.row("b2") & index.row("b3")
+        assert np.array_equal(query.run_reference(index), expected)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySelect([])
+        with pytest.raises(ValueError):
+            QuerySelect([["a"], []])
+
+
+class TestCimExecution:
+    def test_matches_reference(self, index):
+        query = QuerySelect([["b0", "b1"], ["b2"]])
+        mask, engine = query.run_cim(index, seed=0)
+        assert np.array_equal(mask, query.run_reference(index))
+        assert engine.n_ops == 2  # one OR + one AND
+
+    def test_single_group_single_bin(self, index):
+        query = QuerySelect([["b2"]])
+        mask, engine = query.run_cim(index, seed=1)
+        assert np.array_equal(mask, index.row("b2"))
+        assert engine.n_ops == 0  # plain read, no scouting needed
+
+    def test_rows_needed(self, index):
+        query = QuerySelect([["b0", "b1"], ["b2"], ["b3"]])
+        assert query.rows_needed(index) == 4 + 3 + 1
+
+    def test_engine_width_mismatch_rejected(self, index):
+        from repro.logic import BitwiseEngine
+
+        query = QuerySelect([["b0"], ["b1"]])
+        with pytest.raises(ValueError, match="width"):
+            query.run_cim(index, engine=BitwiseEngine(8, 64))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_cim_equals_reference_random_queries(self, seed):
+        rng = np.random.default_rng(seed)
+        idx = BitmapIndex(n_entries=64)
+        for name in ("p", "q", "r", "s"):
+            idx.add_bin(name, rng.integers(0, 2, 64))
+        query = QuerySelect([["p", "q"], ["r", "s"]])
+        mask, _ = query.run_cim(idx, seed=int(rng.integers(2**31)))
+        assert np.array_equal(mask, query.run_reference(idx))
+
+
+class TestTpchQuery6:
+    def test_bitmap_plan_matches_direct_predicate(self):
+        table = generate_lineitem(5000, seed=1)
+        index, query = tpch_query6(table)
+        assert np.array_equal(
+            query.run_reference(index).astype(bool), query6_mask(table)
+        )
+
+    def test_cim_revenue_matches_reference(self):
+        table = generate_lineitem(5000, seed=2)
+        index, query = tpch_query6(table)
+        mask, engine = query.run_cim(index, seed=3)
+        selected = mask.astype(bool)
+        revenue = float(
+            np.sum(table["extendedprice"][selected] * table["discount"][selected])
+        )
+        assert revenue == pytest.approx(query6_reference(table))
+        assert engine.n_ops == 2
+
+    def test_selectivity_plausible(self):
+        """Year 1/7 x discount 3/11 x quantity 23/50 ~ 1.8 %."""
+        table = generate_lineitem(40000, seed=4)
+        mask = query6_mask(table)
+        assert mask.mean() == pytest.approx(
+            (1 / 7) * (3 / 11) * (23 / 50), rel=0.2
+        )

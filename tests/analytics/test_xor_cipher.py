@@ -1,0 +1,67 @@
+"""Tests of the one-time-pad XOR kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import XorCipherCim, xor_cipher_reference
+
+
+class TestReference:
+    def test_known_vector(self):
+        assert xor_cipher_reference(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_involution(self):
+        data, key = b"hello world!", b"secretsecret"
+        assert xor_cipher_reference(xor_cipher_reference(data, key), key) == data
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="match"):
+            xor_cipher_reference(b"abc", b"ab")
+
+
+class TestCimCipher:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, 200, dtype=np.uint8).tobytes()
+        key = rng.integers(0, 256, 200, dtype=np.uint8).tobytes()
+        cipher = XorCipherCim(width=128, seed=1)
+        assert cipher.encrypt(data, key) == xor_cipher_reference(data, key)
+
+    def test_roundtrip(self):
+        cipher = XorCipherCim(width=64, seed=2)
+        data, key = b"one-time pads never reuse keys!!", bytes(range(32))
+        assert cipher.decrypt(cipher.encrypt(data, key), key) == data
+
+    def test_non_multiple_of_width(self):
+        """Messages that do not fill the last row must still round-trip."""
+        cipher = XorCipherCim(width=64, seed=3)
+        data, key = b"abc", b"xyz"
+        assert cipher.encrypt(data, key) == xor_cipher_reference(data, key)
+
+    def test_empty_message(self):
+        cipher = XorCipherCim(seed=4)
+        assert cipher.encrypt(b"", b"") == b""
+
+    def test_op_count_is_rows(self):
+        cipher = XorCipherCim(width=64, seed=5)
+        data = bytes(24)  # 192 bits -> 3 rows of 64
+        cipher.encrypt(data, bytes(24))
+        assert cipher.stats["n_ops"] == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            XorCipherCim(seed=6).encrypt(b"abc", b"ab")
+
+    @pytest.mark.parametrize("width", [0, 4, 63])
+    def test_bad_width_rejected(self, width):
+        with pytest.raises(ValueError):
+            XorCipherCim(width=width)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=1, max_size=64))
+    def test_random_messages(self, data):
+        key = bytes(reversed(data))
+        cipher = XorCipherCim(width=64, seed=7)
+        assert cipher.encrypt(data, key) == xor_cipher_reference(data, key)

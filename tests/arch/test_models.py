@@ -1,0 +1,92 @@
+"""Tests of the conventional and CIM architecture models."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    CimArchitectureModel,
+    ConventionalArchitectureModel,
+)
+
+
+class TestConventionalDelay:
+    def test_zero_miss_is_hit_time(self):
+        model = ConventionalArchitectureModel()
+        core = model.params.core
+        expected = core.t_hit_ns / model.params.n_cores
+        assert model.delay_per_instruction_ns(0.5, 0.0, 0.0) == pytest.approx(expected)
+
+    def test_delay_monotone_in_miss_rates(self):
+        model = ConventionalArchitectureModel()
+        base = model.delay_per_instruction_ns(0.6, 0.2, 0.2)
+        assert model.delay_per_instruction_ns(0.6, 0.8, 0.2) > base
+        assert model.delay_per_instruction_ns(0.6, 0.2, 0.8) > base
+
+    def test_l2_miss_irrelevant_without_l1_miss(self):
+        model = ConventionalArchitectureModel()
+        a = model.delay_per_instruction_ns(0.6, 0.0, 0.0)
+        b = model.delay_per_instruction_ns(0.6, 0.0, 1.0)
+        assert a == pytest.approx(b)
+
+    def test_vectorized_over_grids(self):
+        model = ConventionalArchitectureModel()
+        grid = model.delay_per_instruction_ns(0.5, np.linspace(0, 1, 3), 0.5)
+        assert np.asarray(grid).shape == (3,)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            ConventionalArchitectureModel().delay_per_instruction_ns(1.5, 0, 0)
+
+
+class TestConventionalEnergy:
+    def test_static_dominates_at_defaults(self):
+        """Xeon-class cores burn ~nJ/instruction of static energy."""
+        model = ConventionalArchitectureModel()
+        total = model.energy_per_instruction_pj(0.6, 0.5, 0.5)
+        dynamic = model.dynamic_energy_per_instruction_pj(0.6, 0.5, 0.5)
+        assert total > 3 * dynamic
+
+    def test_energy_monotone_in_miss(self):
+        model = ConventionalArchitectureModel()
+        assert model.energy_per_instruction_pj(0.6, 1.0, 1.0) > model.energy_per_instruction_pj(0.6, 0.0, 0.0)
+
+    def test_totals_scale_with_instructions(self):
+        model = ConventionalArchitectureModel()
+        one = model.total_energy_j(1e9, 0.5, 0.5, 0.5)
+        two = model.total_energy_j(2e9, 0.5, 0.5, 0.5)
+        assert two == pytest.approx(2 * one)
+
+    def test_instructions_for_problem(self):
+        n = ConventionalArchitectureModel.instructions_for_problem(32 * 2**30)
+        assert n == pytest.approx(32 * 2**30 / 8)
+        with pytest.raises(ValueError):
+            ConventionalArchitectureModel.instructions_for_problem(0)
+
+
+class TestCimModel:
+    def test_flat_planes_without_host_exposure(self):
+        model = CimArchitectureModel()
+        a = model.delay_per_instruction_ns(0.6, 0.0, 0.0)
+        b = model.delay_per_instruction_ns(0.6, 1.0, 1.0)
+        assert a == pytest.approx(b)
+
+    def test_host_exposure_tilts_plane(self):
+        model = CimArchitectureModel(host_miss_exposure=1.0)
+        a = model.delay_per_instruction_ns(0.6, 0.0, 0.0)
+        b = model.delay_per_instruction_ns(0.6, 1.0, 1.0)
+        assert b > a
+
+    def test_more_offload_less_host_time(self):
+        model = CimArchitectureModel()
+        assert model.delay_per_instruction_ns(0.9, 0.5, 0.5) < model.delay_per_instruction_ns(0.3, 0.5, 0.5)
+
+    def test_cim_instruction_time_amortized(self):
+        model = CimArchitectureModel()
+        cim = model.params.cim
+        assert model.cim_instruction_time_ns() == pytest.approx(
+            cim.t_op_ns / cim.parallel_width
+        )
+
+    def test_rejects_bad_exposure(self):
+        with pytest.raises(ValueError):
+            CimArchitectureModel(host_miss_exposure=2.0)

@@ -1,0 +1,57 @@
+"""Tests of the architecture parameter sets."""
+
+import pytest
+
+from repro.arch import CimArchParams, CimCoreParams, ConventionalParams, CoreParams
+
+
+class TestCoreParams:
+    def test_defaults_match_paper(self):
+        core = CoreParams()
+        assert core.frequency_hz == pytest.approx(2.5e9)
+        assert core.l1_kbytes == 32
+        assert core.l2_kbytes == 256
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CoreParams(t_hit_ns=0.0)
+
+
+class TestConventionalParams:
+    def test_four_cores_default(self):
+        assert ConventionalParams().n_cores == 4
+
+    def test_static_power_composition(self):
+        params = ConventionalParams()
+        expected = 4 * params.core.static_w + 4.0 * 0.25
+        assert params.static_w == pytest.approx(expected)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            ConventionalParams(n_cores=0)
+
+
+class TestCimCoreParams:
+    def test_paper_instruction_time(self):
+        cim = CimCoreParams()
+        assert cim.t_op_ns == pytest.approx(10.0)
+        assert cim.n_arrays == 1_048_576
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            CimCoreParams(parallel_width=0)
+
+    def test_rejects_negative_static(self):
+        with pytest.raises(ValueError):
+            CimCoreParams(static_w=-0.1)
+
+
+class TestCimArchParams:
+    def test_static_below_conventional(self):
+        """Non-volatile CIM plus a single host core must idle cheaper."""
+        assert CimArchParams().static_w < ConventionalParams().static_w
+
+    def test_static_composition(self):
+        params = CimArchParams()
+        expected = params.host.static_w + 1.0 * 0.25 + params.cim.static_w
+        assert params.static_w == pytest.approx(expected)

@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests that draw random data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matrix(rng):
+    """A small signed matrix for crossbar tests."""
+    return rng.standard_normal((12, 20))

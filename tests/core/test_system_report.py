@@ -1,0 +1,67 @@
+"""Tests of the offload model and the report formatting."""
+
+import pytest
+
+from repro.core import OffloadedProgram, format_series, format_table
+
+
+class TestOffloadedProgram:
+    def test_instruction_count(self):
+        program = OffloadedProgram(problem_bytes=80, bytes_per_instruction=8)
+        assert program.n_instructions == 10
+
+    def test_execution_report_fields(self):
+        report = OffloadedProgram().execute()
+        assert report.conventional_delay_s > 0
+        assert report.cim_energy_j > 0
+
+    def test_high_offload_high_miss_wins_big(self):
+        """The headline configuration of the paper's Sec. II.C."""
+        report = OffloadedProgram(
+            x_fraction=0.9, l1_miss_rate=1.0, l2_miss_rate=1.0
+        ).execute()
+        assert report.speedup > 20
+        assert report.energy_gain > 70
+
+    def test_low_offload_low_miss_cim_slower_but_greener(self):
+        report = OffloadedProgram(
+            x_fraction=0.3, l1_miss_rate=0.0, l2_miss_rate=0.0
+        ).execute()
+        assert report.speedup < 1.0
+        assert report.energy_gain > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OffloadedProgram(problem_bytes=0)
+        with pytest.raises(ValueError):
+            OffloadedProgram(x_fraction=1.5)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("name", "v"), [("a", 1), ("long", 22)])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title(self):
+        text = format_table(("a",), [(1,)], title="Table I")
+        assert text.startswith("Table I")
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(1.23456789,)], precision=3)
+        assert "1.23" in text
+
+    def test_scientific_for_small(self):
+        text = format_table(("x",), [(1e-9,)])
+        assert "e-09" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        line = format_series("delay", [1.0, 2.5])
+        assert line.startswith("delay:")
+        assert "2.5" in line

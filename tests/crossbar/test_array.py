@@ -1,0 +1,100 @@
+"""Tests of the physical crossbar array."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarArray
+from repro.devices import PcmDevice
+
+
+def ideal_array(g):
+    return CrossbarArray(g, device=PcmDevice.ideal(), seed=0)
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        array = ideal_array(np.full((3, 5), 1e-6))
+        assert array.shape == (3, 5)
+        assert array.rows == 3 and array.cols == 5
+
+    def test_rejects_negative_conductance(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CrossbarArray(np.array([[-1e-6]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            CrossbarArray(np.ones(4) * 1e-6)
+
+    def test_programming_report_attached(self):
+        array = CrossbarArray(np.full((2, 2), 5e-6), seed=1)
+        assert array.programming_report.iterations >= 1
+
+
+class TestMvm:
+    def test_mvm_is_kirchhoff_sum(self):
+        g = np.array([[1e-6, 2e-6], [3e-6, 4e-6]])
+        array = ideal_array(g)
+        v = np.array([0.1, 0.2])
+        assert np.allclose(array.mvm(v), v @ g)
+
+    def test_mvm_t_is_transpose_read(self):
+        g = np.array([[1e-6, 2e-6], [3e-6, 4e-6]])
+        array = ideal_array(g)
+        v = np.array([0.1, 0.2])
+        assert np.allclose(array.mvm_t(v), g @ v)
+
+    def test_shape_validation(self):
+        array = ideal_array(np.full((3, 5), 1e-6))
+        with pytest.raises(ValueError):
+            array.mvm(np.zeros(5))
+        with pytest.raises(ValueError):
+            array.mvm_t(np.zeros(3))
+
+    def test_read_counters(self):
+        array = ideal_array(np.full((2, 2), 1e-6))
+        array.mvm(np.zeros(2))
+        array.mvm(np.zeros(2))
+        array.mvm_t(np.zeros(2))
+        assert array.n_col_reads == 2
+        assert array.n_row_reads == 1
+
+    def test_read_noise_perturbs_results(self):
+        g = np.full((16, 16), 10e-6)
+        array = CrossbarArray(g, device=PcmDevice(read_noise_sigma=0.05), seed=2)
+        v = np.full(16, 0.2)
+        first = array.mvm(v)
+        second = array.mvm(v)
+        assert not np.allclose(first, second)
+
+
+class TestDrift:
+    def test_advance_time_reduces_currents(self):
+        g = np.full((8, 8), 5e-6)
+        array = CrossbarArray(
+            g, device=PcmDevice(prog_noise_sigma=0.0, read_noise_sigma=0.0), seed=0
+        )
+        v = np.full(8, 0.2)
+        before = array.mvm(v).sum()
+        array.advance_time(1e5)
+        after = array.mvm(v).sum()
+        assert after < before
+
+    def test_negative_time_rejected(self):
+        array = ideal_array(np.full((2, 2), 1e-6))
+        with pytest.raises(ValueError):
+            array.advance_time(-1.0)
+
+
+class TestIrDrop:
+    def test_wire_resistance_attenuates(self):
+        g = np.full((32, 32), 20e-6)
+        clean = CrossbarArray(g, device=PcmDevice.ideal(), seed=0)
+        lossy = CrossbarArray(
+            g, device=PcmDevice.ideal(), wire_resistance=5.0, seed=0
+        )
+        v = np.full(32, 0.2)
+        assert lossy.mvm(v).sum() < clean.mvm(v).sum()
+
+    def test_rejects_negative_wire_resistance(self):
+        with pytest.raises(ValueError):
+            CrossbarArray(np.full((2, 2), 1e-6), wire_resistance=-1.0)

@@ -1,0 +1,88 @@
+"""Tests of crossbar drift calibration."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarOperator
+from repro.devices import PcmDevice
+
+
+def relative_error(operator, matrix, x):
+    exact = matrix @ x
+    return float(np.linalg.norm(operator.matvec(x) - exact) / np.linalg.norm(exact))
+
+
+class TestCalibration:
+    @pytest.fixture
+    def drifted(self, rng):
+        matrix = rng.standard_normal((40, 40))
+        operator = CrossbarOperator(
+            matrix,
+            device=PcmDevice(prog_noise_sigma=0.0, read_noise_sigma=0.0),
+            dac_bits=None,
+            adc_bits=None,
+            seed=0,
+        )
+        operator.advance_time(1e6)
+        return operator, matrix
+
+    def test_calibration_reduces_drift_error(self, drifted, rng):
+        operator, matrix = drifted
+        x = rng.standard_normal(40)
+        before = relative_error(operator, matrix, x)
+        gain = operator.calibrate(seed=1)
+        after = relative_error(operator, matrix, x)
+        assert gain > 1.0  # drift decays conductance; gain compensates up
+        assert after < 0.5 * before
+
+    def test_fresh_array_gain_near_one(self, rng):
+        matrix = rng.standard_normal((24, 24))
+        operator = CrossbarOperator(
+            matrix, device=PcmDevice.ideal(), dac_bits=None, adc_bits=None, seed=2
+        )
+        gain = operator.calibrate(seed=3)
+        assert gain == pytest.approx(1.0, abs=1e-6)
+
+    def test_calibration_applies_to_rmatvec_too(self, drifted, rng):
+        operator, matrix = drifted
+        z = rng.standard_normal(40)
+        exact = matrix.T @ z
+        before = float(np.linalg.norm(operator.rmatvec(z) - exact) / np.linalg.norm(exact))
+        operator.calibrate(seed=4)
+        after = float(np.linalg.norm(operator.rmatvec(z) - exact) / np.linalg.norm(exact))
+        assert after < before
+
+    def test_recalibration_is_idempotent(self, drifted, rng):
+        operator, _ = drifted
+        first = operator.calibrate(n_probes=16, seed=5)
+        second = operator.calibrate(n_probes=16, seed=6)
+        assert second == pytest.approx(first, rel=0.05)
+
+    def test_validation(self, drifted):
+        operator, _ = drifted
+        with pytest.raises(ValueError):
+            operator.calibrate(n_probes=0)
+
+
+class TestFaultInjection:
+    def test_injection_counts_and_degrades(self, rng):
+        matrix = rng.standard_normal((32, 32))
+        operator = CrossbarOperator(matrix, seed=0)
+        x = rng.standard_normal(32)
+        clean_error = relative_error(operator, matrix, x)
+        n_faults = operator.inject_stuck_faults(0.1, seed=1)
+        assert n_faults > 0
+        assert relative_error(operator, matrix, x) > clean_error
+
+    def test_zero_fraction_no_faults(self, rng):
+        matrix = rng.standard_normal((16, 16))
+        operator = CrossbarOperator(matrix, seed=2)
+        assert operator.inject_stuck_faults(0.0, seed=3) == 0
+
+    def test_array_level_mask_shape(self, rng):
+        from repro.crossbar import CrossbarArray
+
+        array = CrossbarArray(np.full((8, 8), 5e-6), seed=4)
+        mask = array.inject_stuck_faults(0.5, mode="low", seed=5)
+        assert mask.shape == (8, 8)
+        assert mask.any()

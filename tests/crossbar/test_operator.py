@@ -1,0 +1,126 @@
+"""Tests of the high-level crossbar operator."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarOperator, DenseOperator
+from repro.devices import PcmDevice
+
+
+def relative_error(estimate, reference):
+    return np.linalg.norm(estimate - reference) / np.linalg.norm(reference)
+
+
+class TestDenseOperator:
+    def test_matvec_rmatvec(self, small_matrix, rng):
+        op = DenseOperator(small_matrix)
+        x = rng.standard_normal(small_matrix.shape[1])
+        z = rng.standard_normal(small_matrix.shape[0])
+        assert np.allclose(op.matvec(x), small_matrix @ x)
+        assert np.allclose(op.rmatvec(z), small_matrix.T @ z)
+        assert op.n_matvec == 1 and op.n_rmatvec == 1
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            DenseOperator(np.ones(4))
+
+
+class TestIdealCrossbar:
+    def test_matvec_exact_with_ideal_device(self, small_matrix, rng):
+        op = CrossbarOperator(
+            small_matrix, device=PcmDevice.ideal(), dac_bits=None, adc_bits=None, seed=0
+        )
+        x = rng.standard_normal(small_matrix.shape[1])
+        assert relative_error(op.matvec(x), small_matrix @ x) < 1e-10
+
+    def test_rmatvec_exact_with_ideal_device(self, small_matrix, rng):
+        op = CrossbarOperator(
+            small_matrix, device=PcmDevice.ideal(), dac_bits=None, adc_bits=None, seed=0
+        )
+        z = rng.standard_normal(small_matrix.shape[0])
+        assert relative_error(op.rmatvec(z), small_matrix.T @ z) < 1e-10
+
+    def test_zero_vector_returns_zero(self, small_matrix):
+        op = CrossbarOperator(small_matrix, device=PcmDevice.ideal(), seed=0)
+        assert np.array_equal(op.matvec(np.zeros(small_matrix.shape[1])), np.zeros(small_matrix.shape[0]))
+
+    def test_linearity_in_scale(self, small_matrix, rng):
+        """Per-call input normalization must preserve scaling."""
+        op = CrossbarOperator(
+            small_matrix, device=PcmDevice.ideal(), dac_bits=None, adc_bits=None, seed=0
+        )
+        x = rng.standard_normal(small_matrix.shape[1])
+        assert np.allclose(op.matvec(3.0 * x), 3.0 * op.matvec(x), rtol=1e-9)
+
+
+class TestRealisticCrossbar:
+    def test_error_within_pcm_regime(self, rng):
+        matrix = rng.standard_normal((64, 96))
+        op = CrossbarOperator(matrix, seed=1)
+        x = rng.standard_normal(96)
+        err = relative_error(op.matvec(x), matrix @ x)
+        assert err < 0.15  # PCM MVM literature reports a few percent
+
+    def test_tiling_matches_untiled(self, rng):
+        matrix = rng.standard_normal((40, 56))
+        x = rng.standard_normal(56)
+        whole = CrossbarOperator(
+            matrix, device=PcmDevice.ideal(), dac_bits=None, adc_bits=None, seed=0
+        )
+        tiled = CrossbarOperator(
+            matrix,
+            device=PcmDevice.ideal(),
+            dac_bits=None,
+            adc_bits=None,
+            tile_shape=(16, 16),
+            seed=0,
+        )
+        # stored as A.T: ceil(56/16) row blocks x ceil(40/16) col blocks
+        assert tiled.n_tiles == 12
+        assert np.allclose(whole.matvec(x), tiled.matvec(x), atol=1e-9)
+
+    def test_more_adc_bits_less_error(self, rng):
+        matrix = rng.standard_normal((32, 48))
+        x = rng.standard_normal(48)
+        device = PcmDevice.ideal()
+        errs = {}
+        for bits in (4, 8):
+            op = CrossbarOperator(matrix, device=device, dac_bits=None, adc_bits=bits, seed=2)
+            errs[bits] = relative_error(op.matvec(x), matrix @ x)
+        assert errs[8] < errs[4]
+
+    def test_drift_degrades_accuracy(self, rng):
+        matrix = rng.standard_normal((32, 32))
+        x = rng.standard_normal(32)
+        op = CrossbarOperator(
+            matrix,
+            device=PcmDevice(prog_noise_sigma=0.0, read_noise_sigma=0.0),
+            dac_bits=None,
+            adc_bits=None,
+            seed=3,
+        )
+        fresh = relative_error(op.matvec(x), matrix @ x)
+        op.advance_time(1e6)
+        aged = relative_error(op.matvec(x), matrix @ x)
+        assert aged > fresh
+
+    def test_stats_counters(self, small_matrix, rng):
+        op = CrossbarOperator(small_matrix, seed=4)
+        op.matvec(rng.standard_normal(small_matrix.shape[1]))
+        op.rmatvec(rng.standard_normal(small_matrix.shape[0]))
+        stats = op.stats
+        assert stats["n_matvec"] == 1
+        assert stats["n_rmatvec"] == 1
+        assert stats["adc_conversions"] > 0
+        assert stats["n_devices"] == 2 * small_matrix.size
+
+    def test_shape_validation(self, small_matrix):
+        op = CrossbarOperator(small_matrix, seed=5)
+        with pytest.raises(ValueError):
+            op.matvec(np.zeros(small_matrix.shape[0]))
+        with pytest.raises(ValueError):
+            op.rmatvec(np.zeros(small_matrix.shape[1]))
+
+    def test_rejects_bad_full_scale_mode(self, small_matrix):
+        with pytest.raises(ValueError):
+            CrossbarOperator(small_matrix, full_scale_mode="bogus")

@@ -1,0 +1,52 @@
+"""Tests of iterative program-and-verify."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import program_and_verify
+from repro.devices import PcmDevice
+
+
+class TestProgramAndVerify:
+    def test_ideal_device_converges_exactly(self):
+        device = PcmDevice.ideal()
+        target = np.linspace(device.g_min, device.g_max, 10)
+        report = program_and_verify(device, target, iterations=3)
+        assert np.allclose(report.conductance, target)
+        assert report.final_rms_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_error_history_length(self):
+        report = program_and_verify(PcmDevice(), np.full(8, 1e-5), iterations=4, seed=0)
+        assert report.iterations == 4
+        assert len(report.rms_error_history) == 4
+
+    def test_error_decreases_over_iterations_with_partial_gain(self):
+        """With gain < 1 the verify loop converges gradually."""
+        device = PcmDevice(prog_noise_sigma=0.002)
+        target = np.full(2000, 12e-6)
+        report = program_and_verify(device, target, iterations=6, gain=0.5, seed=1)
+        assert report.rms_error_history[-1] < report.rms_error_history[0] / 2
+
+    def test_residual_limited_by_pulse_noise(self):
+        device = PcmDevice(prog_noise_sigma=0.01, read_noise_sigma=0.0)
+        target = np.full(4000, 12e-6)
+        report = program_and_verify(device, target, iterations=8, seed=2)
+        # Residual floor ~ one pulse error = 1% of g_max.
+        assert report.final_rms_error == pytest.approx(0.01, rel=0.3)
+
+    def test_targets_clipped_to_window(self):
+        device = PcmDevice.ideal()
+        report = program_and_verify(device, np.array([1.0]), iterations=2)
+        assert report.conductance[0] == pytest.approx(device.g_max)
+
+    @pytest.mark.parametrize("bad_kwargs", [{"iterations": 0}, {"gain": 0.0}, {"gain": 1.5}])
+    def test_rejects_bad_parameters(self, bad_kwargs):
+        with pytest.raises(ValueError):
+            program_and_verify(PcmDevice(), np.array([1e-6]), **bad_kwargs)
+
+    def test_report_without_iterations_rejects_final_error(self):
+        from repro.crossbar.programming import ProgrammingReport
+
+        report = ProgrammingReport(conductance=np.zeros(2))
+        with pytest.raises(ValueError):
+            _ = report.final_rms_error

@@ -1,0 +1,32 @@
+"""Tests of tiling helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crossbar import split_ranges
+
+
+class TestSplitRanges:
+    def test_exact_division(self):
+        assert split_ranges(8, 4) == [(0, 4), (4, 8)]
+
+    def test_remainder(self):
+        assert split_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_single_tile(self):
+        assert split_ranges(3, 10) == [(0, 3)]
+
+    @pytest.mark.parametrize("total,tile", [(0, 1), (1, 0), (-2, 3)])
+    def test_rejects_bad_inputs(self, total, tile):
+        with pytest.raises(ValueError):
+            split_ranges(total, tile)
+
+    @given(st.integers(1, 500), st.integers(1, 64))
+    def test_spans_cover_exactly(self, total, tile):
+        spans = split_ranges(total, tile)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == total
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 == b0  # contiguous, no gaps or overlap
+        assert all(1 <= stop - start <= tile for start, stop in spans)

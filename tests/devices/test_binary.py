@@ -1,0 +1,73 @@
+"""Tests of the binary memristor model."""
+
+import numpy as np
+import pytest
+
+from repro.devices import BinaryMemristor
+
+
+class TestConstruction:
+    def test_defaults_valid(self):
+        device = BinaryMemristor()
+        assert device.r_high > device.r_low
+        assert device.resistance_ratio == pytest.approx(100.0)
+
+    def test_rejects_inverted_states(self):
+        with pytest.raises(ValueError, match="r_high"):
+            BinaryMemristor(r_low=1e6, r_high=10e3)
+
+    @pytest.mark.parametrize("field", ["variability", "read_noise"])
+    def test_rejects_negative_noise(self, field):
+        with pytest.raises(ValueError, match="non-negative"):
+            BinaryMemristor(**{field: -0.1})
+
+    @pytest.mark.parametrize("field", ["r_low", "r_high"])
+    def test_rejects_nonpositive_resistance(self, field):
+        with pytest.raises(ValueError):
+            BinaryMemristor(**{field: 0.0})
+
+
+class TestProgramming:
+    def test_nominal_mapping(self):
+        device = BinaryMemristor(variability=0.0)
+        bits = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        resistances = device.nominal_resistance(bits)
+        assert resistances[0, 0] == device.r_low
+        assert resistances[0, 1] == device.r_high
+
+    def test_program_without_variability_is_nominal(self):
+        device = BinaryMemristor(variability=0.0)
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        assert np.array_equal(device.program(bits), device.nominal_resistance(bits))
+
+    def test_program_with_variability_spreads(self):
+        device = BinaryMemristor(variability=0.05)
+        bits = np.ones(500, dtype=np.uint8)
+        programmed = device.program(bits, seed=0)
+        relative = programmed / device.r_low
+        assert np.std(np.log(relative)) == pytest.approx(0.05, rel=0.25)
+
+    def test_program_deterministic_with_seed(self):
+        device = BinaryMemristor()
+        bits = np.ones(16, dtype=np.uint8)
+        assert np.array_equal(device.program(bits, seed=3), device.program(bits, seed=3))
+
+
+class TestReadCurrent:
+    def test_ideal_current_is_ohms_law(self):
+        device = BinaryMemristor(variability=0.0, read_noise=0.0)
+        resistances = np.array([10e3, 1e6])
+        currents = device.read_current(resistances, read_voltage=0.2)
+        assert currents == pytest.approx([0.2 / 10e3, 0.2 / 1e6])
+
+    def test_noise_perturbs_current(self):
+        device = BinaryMemristor(read_noise=0.05)
+        resistances = np.full(1000, 10e3)
+        currents = device.read_current(resistances, 0.2, seed=1)
+        spread = np.std(currents) / np.mean(currents)
+        assert spread == pytest.approx(0.05, rel=0.25)
+
+    def test_rejects_nonpositive_voltage(self):
+        device = BinaryMemristor()
+        with pytest.raises(ValueError):
+            device.read_current(np.array([1e4]), 0.0)

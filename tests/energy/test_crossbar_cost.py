@@ -1,0 +1,76 @@
+"""Tests of the crossbar cost model against the Sec. III.B.3 anchors."""
+
+import pytest
+
+from repro.energy import AdcModel, CrossbarCostModel, FpgaMvmDesign
+
+
+class TestPaperAnchors:
+    def test_device_power_210mw(self):
+        """1024^2 devices at 1 uA / 0.2 V -> ~0.21 W."""
+        assert CrossbarCostModel().device_power_w == pytest.approx(0.21, rel=0.01)
+
+    def test_adc_power_12_3mw(self):
+        """"12 mW/GSps, thus 12.3 mW for 1024 reads per microsecond"."""
+        assert CrossbarCostModel().adc_power_w == pytest.approx(12.3e-3, rel=0.01)
+
+    def test_total_power_222mw(self):
+        assert CrossbarCostModel().total_power_w == pytest.approx(0.222, rel=0.01)
+
+    def test_energy_per_mvm_222nj(self):
+        assert CrossbarCostModel().mvm_energy_j == pytest.approx(222e-9, rel=0.01)
+
+    def test_area_0_332mm2(self):
+        """25F^2 cells at F = 90 nm plus 8 ADCs of 50x300 um."""
+        assert CrossbarCostModel().total_area_mm2 == pytest.approx(0.332, rel=0.01)
+
+    def test_120x_power_advantage_over_fpga(self):
+        advantage = CrossbarCostModel().power_advantage_over(
+            FpgaMvmDesign().dynamic_power_w
+        )
+        assert advantage == pytest.approx(120.0, rel=0.02)
+
+    def test_80x_energy_advantage_over_fpga(self):
+        advantage = CrossbarCostModel().energy_advantage_over(
+            FpgaMvmDesign().mvm_energy_j()
+        )
+        assert advantage == pytest.approx(80.0, rel=0.02)
+
+
+class TestScaling:
+    def test_power_scales_with_array(self):
+        small = CrossbarCostModel(rows=256, cols=256)
+        assert small.device_power_w == pytest.approx(0.21 / 16, rel=0.01)
+
+    def test_energy_for_reads(self):
+        model = CrossbarCostModel()
+        assert model.energy_for_reads_j(10) == pytest.approx(10 * model.mvm_energy_j)
+        with pytest.raises(ValueError):
+            model.energy_for_reads_j(-1)
+
+    def test_comparisons_reject_nonpositive(self):
+        with pytest.raises(ValueError):
+            CrossbarCostModel().power_advantage_over(0.0)
+
+
+class TestAdcModel:
+    def test_reference_energy_12pj(self):
+        assert AdcModel().energy_per_conversion_j == pytest.approx(12e-12)
+
+    def test_walden_scaling(self):
+        assert AdcModel(bits=4).energy_per_conversion_j == pytest.approx(
+            12e-12 / 16
+        )
+        assert AdcModel(bits=10).energy_per_conversion_j == pytest.approx(
+            12e-12 * 4
+        )
+
+    def test_power_at_gsps(self):
+        assert AdcModel().power_w(1e9) == pytest.approx(12e-3)
+
+    def test_area(self):
+        assert AdcModel().area_m2 == pytest.approx(50e-6 * 300e-6)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            AdcModel().power_w(0.0)

@@ -1,0 +1,48 @@
+"""Tests of the Table I FPGA model against the published numbers."""
+
+import pytest
+
+from repro.energy import FpgaMvmDesign
+
+
+class TestTableIAnchors:
+    def test_dot_product_cycles(self):
+        """"The time to compute one dot-product is equal to the vector
+        size divided by 8, plus 5 cycles" -> 133 cycles for 1024."""
+        assert FpgaMvmDesign().dot_product_cycles(1024) == 133
+
+    def test_mvm_latency_665ns(self):
+        assert FpgaMvmDesign().mvm_latency_s() == pytest.approx(665e-9)
+
+    def test_mvm_energy_17_7uj(self):
+        assert FpgaMvmDesign().mvm_energy_j() == pytest.approx(17.7e-6, rel=0.01)
+
+    def test_resource_report(self):
+        design = FpgaMvmDesign()
+        assert design.luts == 307_908
+        assert design.flipflops == 180_368
+        assert design.block_rams == 1024
+        assert design.static_power_w == pytest.approx(4.04)
+
+
+class TestScaling:
+    def test_rows_beyond_units_serialize(self):
+        design = FpgaMvmDesign()
+        assert design.mvm_cycles(2048, 1024) == 2 * design.mvm_cycles(1024, 1024)
+
+    def test_small_vector_pipeline_floor(self):
+        design = FpgaMvmDesign()
+        assert design.dot_product_cycles(1) == 1 + design.pipeline_depth
+
+    def test_ceil_division_of_lanes(self):
+        design = FpgaMvmDesign()
+        assert design.dot_product_cycles(9) == 2 + design.pipeline_depth
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_rejects_bad_vector_size(self, bad):
+        with pytest.raises(ValueError):
+            FpgaMvmDesign().dot_product_cycles(bad)
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            FpgaMvmDesign().mvm_cycles(0, 1024)

@@ -1,0 +1,54 @@
+"""Tests of the HD processor CMOS-vs-CIM model (Sec. IV.B.3)."""
+
+import pytest
+
+from repro.energy import HdModuleCosts, HdProcessorModel
+
+
+class TestPaperAnchors:
+    def test_area_improvement_9x(self):
+        """"A best area improvement of 9x ... is expected"."""
+        assert HdProcessorModel().area_improvement() == pytest.approx(9.0, rel=0.05)
+
+    def test_energy_improvement_5x(self):
+        """"... and an energy improvement of 5x"."""
+        assert HdProcessorModel().energy_improvement() == pytest.approx(5.0, rel=0.05)
+
+    def test_replaceable_only_two_to_three_orders(self):
+        """"energy efficiency can be two to three orders of magnitude
+        higher" when only replaceable modules are considered."""
+        gain = HdProcessorModel().energy_improvement(replaceable_only=True)
+        assert 1e2 <= gain <= 1e3
+
+    def test_nonreplaceable_eclipses_cim_budget(self):
+        """The controller/buffers dominate the CIM energy budget."""
+        model = HdProcessorModel()
+        cim_repl = sum(m.energy_per_query_nj for m in model.cim if m.replaceable)
+        cim_nonrepl = sum(
+            m.energy_per_query_nj for m in model.cim if not m.replaceable
+        )
+        assert cim_nonrepl > 10 * cim_repl
+
+
+class TestStructure:
+    def test_rows_align_modules(self):
+        rows = HdProcessorModel().rows()
+        assert [r["module"] for r in rows] == [
+            "item_memory",
+            "map_encoder",
+            "associative_memory",
+            "controller_buffers",
+        ]
+        assert sum(r["replaceable"] for r in rows) == 3
+
+    def test_misaligned_modules_rejected(self):
+        model = HdProcessorModel(
+            cmos=(HdModuleCosts("a", 1.0, 1.0, True),),
+            cim=(HdModuleCosts("b", 1.0, 1.0, True),),
+        )
+        with pytest.raises(ValueError, match="align"):
+            model.rows()
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            HdModuleCosts("x", -1.0, 0.0, True)

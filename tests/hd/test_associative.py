@@ -1,0 +1,84 @@
+"""Tests of the associative memory."""
+
+import numpy as np
+import pytest
+
+from repro.ml.hd import AssociativeMemory, random_hypervector
+
+
+@pytest.fixture
+def memory(rng):
+    memory = AssociativeMemory(d=1024, seed=0)
+    for label in ("a", "b", "c"):
+        base = random_hypervector(1024, seed=rng)
+        for _ in range(5):
+            noisy = base.copy()
+            flip = rng.choice(1024, size=100, replace=False)
+            noisy[flip] ^= 1
+            memory.train(label, noisy)
+    return memory
+
+
+class TestTraining:
+    def test_labels_registered(self, memory):
+        assert sorted(memory.labels) == ["a", "b", "c"]
+        assert memory.n_classes == 3
+
+    def test_prototype_shape_binary(self, memory):
+        proto = memory.prototype("a")
+        assert proto.shape == (1024,)
+        assert set(np.unique(proto)) <= {0, 1}
+
+    def test_unknown_class(self, memory):
+        with pytest.raises(KeyError):
+            memory.prototype("z")
+
+    def test_shape_validation(self):
+        memory = AssociativeMemory(d=64)
+        with pytest.raises(ValueError):
+            memory.train("x", np.zeros(32, dtype=np.uint8))
+
+    def test_train_counts_equivalent_to_train(self, rng):
+        """Accumulating counts must equal training individual vectors."""
+        hvs = rng.integers(0, 2, (7, 256), dtype=np.uint8)
+        one = AssociativeMemory(d=256, seed=1)
+        for hv in hvs:
+            one.train("k", hv)
+        other = AssociativeMemory(d=256, seed=1)
+        other.train_counts("k", hvs.sum(axis=0), total=7)
+        assert np.array_equal(one.prototype("k"), other.prototype("k"))
+
+    def test_train_counts_validation(self):
+        memory = AssociativeMemory(d=8)
+        with pytest.raises(ValueError):
+            memory.train_counts("k", np.full(8, 5), total=3)  # counts > total
+        with pytest.raises(ValueError):
+            memory.train_counts("k", np.zeros(8), total=0)
+
+
+class TestClassification:
+    def test_classifies_noisy_queries(self, memory, rng):
+        """Prototypes tolerate substantial query corruption."""
+        proto = memory.prototype("b")
+        query = proto.copy()
+        flip = rng.choice(1024, size=200, replace=False)
+        query[flip] ^= 1
+        assert memory.classify(query) == "b"
+
+    def test_similarities_ordered(self, memory):
+        proto = memory.prototype("c")
+        scores = memory.similarities(proto)
+        assert scores["c"] == max(scores.values())
+
+    def test_accuracy(self, memory):
+        protos = [memory.prototype(label) for label in ("a", "b", "c")]
+        assert memory.accuracy(np.stack(protos), ["a", "b", "c"]) == 1.0
+
+    def test_untrained_rejected(self):
+        memory = AssociativeMemory(d=32)
+        with pytest.raises(ValueError):
+            memory.classify(np.zeros(32, dtype=np.uint8))
+
+    def test_empty_queries_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.accuracy(np.zeros((0, 1024)), [])

@@ -1,0 +1,94 @@
+"""Tests of the text and biosignal encoders."""
+
+import numpy as np
+import pytest
+
+from repro.ml.hd import (
+    BiosignalEncoder,
+    ItemMemory,
+    TextNgramEncoder,
+    hamming_similarity,
+)
+
+
+@pytest.fixture
+def text_encoder():
+    memory = ItemMemory("abcdefghijklmnopqrstuvwxyz ", d=2048, seed=0)
+    return TextNgramEncoder(memory, ngram=3, seed=1)
+
+
+class TestTextEncoder:
+    def test_ngram_hypervector_shape(self, text_encoder):
+        assert text_encoder.ngram_hypervector("abc").shape == (2048,)
+
+    def test_ngram_order_matters(self, text_encoder):
+        """Permutation encodes position: 'abc' != 'cba'."""
+        sim = hamming_similarity(
+            text_encoder.ngram_hypervector("abc"),
+            text_encoder.ngram_hypervector("cba"),
+        )
+        assert sim == pytest.approx(0.5, abs=0.06)
+
+    def test_wrong_gram_length_rejected(self, text_encoder):
+        with pytest.raises(ValueError):
+            text_encoder.ngram_hypervector("ab")
+
+    def test_encode_deterministic_modulo_ties(self, text_encoder):
+        a = text_encoder.encode("the quick brown fox")
+        b = text_encoder.encode("the quick brown fox")
+        # tie-breaking consumes RNG, but non-tied components must agree
+        assert (a == b).mean() > 0.95
+
+    def test_similar_texts_similar_vectors(self, text_encoder):
+        base = text_encoder.encode("the cat sat on the mat today")
+        close = text_encoder.encode("the cat sat on the mat tonight")
+        far = text_encoder.encode("zzq wvx jkp qqq zzz xxy vvv bbb")
+        assert hamming_similarity(base, close) > hamming_similarity(base, far)
+
+    def test_short_text_rejected(self, text_encoder):
+        with pytest.raises(ValueError, match="shorter"):
+            text_encoder.encode("ab")
+
+    def test_ngram_counts_consistency(self, text_encoder):
+        counts, n = text_encoder.ngram_counts("abcd")
+        assert n == 2
+        assert counts.max() <= n and counts.min() >= 0
+
+
+class TestBiosignalEncoder:
+    @pytest.fixture
+    def encoder(self):
+        return BiosignalEncoder(n_channels=4, d=2048, n_levels=8, ngram=3, seed=0)
+
+    def test_spatial_hypervector_shape(self, encoder):
+        assert encoder.spatial_hypervector(np.array([0.1, 0.5, 0.9, 0.3])).shape == (2048,)
+
+    def test_spatial_sensitive_to_amplitudes(self, encoder):
+        a = encoder.spatial_hypervector(np.array([0.9, 0.9, 0.1, 0.1]))
+        b = encoder.spatial_hypervector(np.array([0.1, 0.1, 0.9, 0.9]))
+        assert hamming_similarity(a, b) < 0.75
+
+    def test_similar_windows_similar_codes(self, encoder):
+        rng = np.random.default_rng(1)
+        window = rng.random((16, 4))
+        jittered = np.clip(window + 0.02 * rng.standard_normal(window.shape), 0, 1)
+        different = rng.random((16, 4))
+        sim_close = hamming_similarity(encoder.encode(window), encoder.encode(jittered))
+        sim_far = hamming_similarity(encoder.encode(window), encoder.encode(different))
+        assert sim_close > sim_far
+
+    def test_window_validation(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros((16, 3)))  # wrong channel count
+        with pytest.raises(ValueError, match="shorter"):
+            encoder.encode(np.zeros((2, 4)))  # shorter than ngram
+
+    def test_sample_validation(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.spatial_hypervector(np.zeros(3))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BiosignalEncoder(n_channels=0)
+        with pytest.raises(ValueError):
+            BiosignalEncoder(n_channels=4, ngram=0)

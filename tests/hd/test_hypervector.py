@@ -1,0 +1,131 @@
+"""Property tests of the MAP operations (Sec. IV.B.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.hd import (
+    bind,
+    bundle,
+    hamming_similarity,
+    permute,
+    random_hypervector,
+)
+
+
+def hv_strategy(d=64):
+    return st.lists(st.integers(0, 1), min_size=d, max_size=d).map(
+        lambda bits: np.array(bits, dtype=np.uint8)
+    )
+
+
+class TestRandomHypervector:
+    def test_density_near_half(self):
+        hv = random_hypervector(10000, seed=0)
+        assert hv.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_quasi_orthogonality(self):
+        """Unrelated hypervectors have similarity ~0.5 (the paper's
+        quasi-orthogonality property enabling combination)."""
+        a = random_hypervector(10000, seed=1)
+        b = random_hypervector(10000, seed=2)
+        assert hamming_similarity(a, b) == pytest.approx(0.5, abs=0.03)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            random_hypervector(0)
+
+
+class TestBind:
+    @given(hv_strategy(), hv_strategy())
+    def test_involution(self, a, b):
+        """bind(bind(a, b), b) == a — XOR unbinds itself."""
+        assert np.array_equal(bind(bind(a, b), b), a)
+
+    @given(hv_strategy(), hv_strategy())
+    def test_commutative(self, a, b):
+        assert np.array_equal(bind(a, b), bind(b, a))
+
+    @given(hv_strategy())
+    def test_self_binding_is_zero(self, a):
+        assert bind(a, a).sum() == 0
+
+    def test_result_quasi_orthogonal_to_inputs(self):
+        a = random_hypervector(10000, seed=3)
+        b = random_hypervector(10000, seed=4)
+        bound = bind(a, b)
+        assert hamming_similarity(bound, a) == pytest.approx(0.5, abs=0.03)
+        assert hamming_similarity(bound, b) == pytest.approx(0.5, abs=0.03)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bind(np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8))
+
+
+class TestBundle:
+    def test_odd_majority_exact(self):
+        hvs = np.array(
+            [[1, 1, 0, 0], [1, 0, 1, 0], [1, 0, 0, 1]], dtype=np.uint8
+        )
+        assert np.array_equal(bundle(hvs), [1, 0, 0, 0])
+
+    @given(st.lists(hv_strategy(32), min_size=3, max_size=7))
+    def test_fixed_width(self, hvs):
+        result = bundle(np.stack(hvs), seed=0)
+        assert result.shape == (32,)
+        assert set(np.unique(result)) <= {0, 1}
+
+    def test_similar_to_every_input(self):
+        """The bundle stays closer to each input than random (~0.5)."""
+        rng = np.random.default_rng(5)
+        hvs = np.stack([random_hypervector(8192, seed=rng) for _ in range(5)])
+        bundled = bundle(hvs, seed=rng)
+        for hv in hvs:
+            assert hamming_similarity(bundled, hv) > 0.6
+
+    def test_tie_break_random_but_seeded(self):
+        hvs = np.array([[1, 0], [0, 1]], dtype=np.uint8)  # all ties
+        a = bundle(hvs, seed=0)
+        b = bundle(hvs, seed=0)
+        assert np.array_equal(a, b)
+
+    def test_weighted_bundle(self):
+        hvs = np.array([[1, 1], [0, 0]], dtype=np.uint8)
+        heavy_first = bundle(hvs, weights=np.array([3.0, 1.0]))
+        assert np.array_equal(heavy_first, [1, 1])
+
+    def test_weight_validation(self):
+        hvs = np.zeros((2, 4), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            bundle(hvs, weights=np.array([1.0]))
+        with pytest.raises(ValueError):
+            bundle(hvs, weights=np.array([-1.0, 1.0]))
+
+    def test_rejects_non_stack(self):
+        with pytest.raises(ValueError):
+            bundle(np.zeros(8, dtype=np.uint8))
+
+
+class TestPermute:
+    @given(hv_strategy(), st.integers(-64, 64))
+    def test_preserves_population(self, a, shifts):
+        assert permute(a, shifts).sum() == a.sum()
+
+    @given(hv_strategy(), st.integers(0, 63))
+    def test_inverse_shift(self, a, shifts):
+        assert np.array_equal(permute(permute(a, shifts), -shifts), a)
+
+    def test_decorrelates(self):
+        a = random_hypervector(10000, seed=6)
+        assert hamming_similarity(a, permute(a, 1)) == pytest.approx(0.5, abs=0.03)
+
+
+class TestSimilarity:
+    def test_identity(self):
+        a = random_hypervector(128, seed=7)
+        assert hamming_similarity(a, a) == 1.0
+
+    def test_complement(self):
+        a = random_hypervector(128, seed=8)
+        assert hamming_similarity(a, 1 - a) == 0.0

@@ -1,0 +1,74 @@
+"""End-to-end tests of the Fig. 8 HD applications."""
+
+import pytest
+
+from repro.ml.hd import GestureRecognizer, LanguageRecognizer
+from repro.workloads import EmgGestureGenerator, LanguageCorpus
+
+
+@pytest.fixture(scope="module")
+def language_setup():
+    corpus = LanguageCorpus(n_languages=6, seed=1)
+    train_texts, train_labels = corpus.dataset(3, 1200, seed=2)
+    test_texts, test_labels = corpus.dataset(3, 250, seed=3)
+    recognizer = LanguageRecognizer(d=2048, ngram=3, seed=0)
+    recognizer.fit(train_texts, train_labels)
+    return recognizer, test_texts, test_labels
+
+
+@pytest.fixture(scope="module")
+def gesture_setup():
+    generator = EmgGestureGenerator(seed=9)
+    train_windows, train_labels = generator.dataset(8, seed=4)
+    test_windows, test_labels = generator.dataset(5, seed=5)
+    recognizer = GestureRecognizer(d=2048, seed=1)
+    recognizer.fit(train_windows, train_labels)
+    return recognizer, test_windows, test_labels
+
+
+class TestLanguageRecognition:
+    def test_software_accuracy_high(self, language_setup):
+        recognizer, texts, labels = language_setup
+        assert recognizer.evaluate(texts, labels) >= 0.9
+
+    def test_cim_accuracy_comparable(self, language_setup):
+        """"the CIM architecture can deliver comparable accuracies to
+        the ideal software simulations for ... language recognition"."""
+        recognizer, texts, labels = language_setup
+        software = recognizer.evaluate(texts, labels)
+        cim = recognizer.evaluate(texts, labels, backend="cim")
+        assert cim >= software - 0.1
+
+    def test_predictions_are_labels(self, language_setup):
+        recognizer, texts, labels = language_setup
+        predictions = recognizer.predict(texts[:3])
+        assert all(p in recognizer.memory.labels for p in predictions)
+
+    def test_unknown_backend_rejected(self, language_setup):
+        recognizer, texts, labels = language_setup
+        with pytest.raises(ValueError):
+            recognizer.evaluate(texts[:1], labels[:1], backend="quantum")
+
+
+class TestGestureRecognition:
+    def test_software_accuracy_high(self, gesture_setup):
+        recognizer, windows, labels = gesture_setup
+        assert recognizer.evaluate(windows, labels) >= 0.8
+
+    def test_cim_accuracy_comparable(self, gesture_setup):
+        recognizer, windows, labels = gesture_setup
+        software = recognizer.evaluate(windows, labels)
+        cim = recognizer.evaluate(windows, labels, backend="cim")
+        assert cim >= software - 0.15
+
+    def test_refit_invalidates_cim_memory(self, gesture_setup):
+        recognizer, windows, labels = gesture_setup
+        recognizer.evaluate(windows[:2], labels[:2], backend="cim")
+        assert recognizer._cim_memory is not None
+        recognizer.fit(windows[:1], labels[:1])
+        assert recognizer._cim_memory is None
+
+    def test_empty_evaluation_rejected(self, gesture_setup):
+        recognizer, _, _ = gesture_setup
+        with pytest.raises(ValueError):
+            recognizer.evaluate([], [])

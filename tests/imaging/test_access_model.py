@@ -1,0 +1,68 @@
+"""Tests of the neighbourhood access-traffic model."""
+
+import pytest
+
+from repro.imaging import NeighborhoodAccessModel
+
+
+class TestConventional:
+    def test_access_count(self):
+        model = NeighborhoodAccessModel()
+        report = model.conventional(10, 10, radius=3)
+        assert report.accesses == 100 * 49
+
+    def test_energy_scales_with_accesses(self):
+        model = NeighborhoodAccessModel()
+        small = model.conventional(10, 10, 3)
+        large = model.conventional(20, 10, 3)
+        assert large.energy_j == pytest.approx(2 * small.energy_j)
+
+    def test_per_pixel(self):
+        model = NeighborhoodAccessModel()
+        report = model.conventional(8, 8, 3)
+        accesses, _ = report.per_pixel(64)
+        assert accesses == 49
+
+
+class TestCim:
+    def test_activation_count_is_rows_per_window(self):
+        model = NeighborhoodAccessModel()
+        report = model.cim(10, 10, radius=3)
+        assert report.accesses == 100 * 7
+
+    def test_cim_beats_conventional_energy(self):
+        """Sec. III.A: the modified address decoder gathers a window in
+        (2r+1) activations instead of (2r+1)^2 word accesses."""
+        model = NeighborhoodAccessModel()
+        for radius in (3, 4, 5):
+            conv = model.conventional(64, 64, radius)
+            cim = model.cim(64, 64, radius)
+            assert cim.energy_j < conv.energy_j
+
+    def test_gain_grows_with_window(self):
+        model = NeighborhoodAccessModel()
+        rows = model.comparison_rows(64, 64, radii=(3, 4, 5))
+        gains = [row["energy_gain"] for row in rows]
+        assert gains == sorted(gains)
+        assert [row["window"] for row in rows] == [7, 9, 11]
+
+
+class TestValidation:
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            NeighborhoodAccessModel().conventional(8, 8, 0)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            NeighborhoodAccessModel().cim(0, 8, 3)
+
+    def test_rejects_bad_pixel_count(self):
+        report = NeighborhoodAccessModel().conventional(8, 8, 3)
+        with pytest.raises(ValueError):
+            report.per_pixel(0)
+
+    def test_rejects_bad_model_params(self):
+        with pytest.raises(ValueError):
+            NeighborhoodAccessModel(bits_per_pixel=0)
+        with pytest.raises(ValueError):
+            NeighborhoodAccessModel(sram_access_energy_pj=0.0)

@@ -1,0 +1,73 @@
+"""Tests of the box filter against a naive implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.imaging import box_filter
+from repro.imaging.box import window_counts
+
+
+def naive_box(image, radius):
+    height, width = image.shape
+    out = np.empty_like(image, dtype=float)
+    for i in range(height):
+        for j in range(width):
+            window = image[
+                max(0, i - radius) : min(height, i + radius + 1),
+                max(0, j - radius) : min(width, j + radius + 1),
+            ]
+            out[i, j] = window.mean()
+    return out
+
+
+class TestBoxFilter:
+    def test_matches_naive(self, rng):
+        image = rng.random((17, 23))
+        for radius in (1, 2, 4):
+            assert np.allclose(box_filter(image, radius), naive_box(image, radius))
+
+    def test_radius_zero_is_identity(self, rng):
+        image = rng.random((5, 5))
+        assert np.array_equal(box_filter(image, 0), image)
+
+    def test_constant_image_unchanged(self):
+        image = np.full((10, 12), 0.7)
+        assert np.allclose(box_filter(image, 3), 0.7)
+
+    def test_preserves_mean_of_symmetric_window_interior(self, rng):
+        image = rng.random((20, 20))
+        filtered = box_filter(image, 2)
+        assert filtered[10, 10] == pytest.approx(image[8:13, 8:13].mean())
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            box_filter(np.zeros((4, 4)), -1)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            box_filter(np.zeros(4), 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(3, 12), st.integers(3, 12)),
+            elements=st.floats(0, 1, allow_nan=False),
+        ),
+        st.integers(1, 3),
+    )
+    def test_property_matches_naive(self, image, radius):
+        assert np.allclose(box_filter(image, radius), naive_box(image, radius))
+
+
+class TestWindowCounts:
+    def test_interior_full_window(self):
+        counts = window_counts((10, 10), 2)
+        assert counts[5, 5] == 25
+
+    def test_corner_clipped(self):
+        counts = window_counts((10, 10), 2)
+        assert counts[0, 0] == 9  # 3x3 valid corner window

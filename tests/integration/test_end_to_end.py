@@ -1,0 +1,112 @@
+"""Cross-module integration tests: each paper application end to end."""
+
+import numpy as np
+import pytest
+
+from repro import CimAccelerator
+from repro.analytics import tpch_query6
+from repro.crossbar import CrossbarOperator, DenseOperator
+from repro.ml.nn import CimNetwork, Sequential, quantize_network, train_classifier
+from repro.signal import CsProblem, amp_recover
+from repro.workloads import (
+    SensoryTask,
+    generate_lineitem,
+    query6_reference,
+    star_bitmap_index,
+)
+
+
+class TestDatabasePipeline:
+    """Sec. II: database -> bitmap -> CIM query -> aggregate."""
+
+    def test_query6_on_accelerator_facade(self):
+        table = generate_lineitem(3000, seed=0)
+        index, query = tpch_query6(table)
+        accelerator = CimAccelerator(seed=1)
+        engine = accelerator.store_bits(
+            "lineitem", index.as_matrix(), scratch_rows=len(query.groups) + 1
+        )
+        mask, engine = query.run_cim(index, engine=engine)
+        selected = mask.astype(bool)
+        revenue = float(
+            np.sum(table["extendedprice"][selected] * table["discount"][selected])
+        )
+        assert revenue == pytest.approx(query6_reference(table))
+        # The whole query took 2 CIM logical instructions (OR + AND).
+        assert accelerator.stats["lineitem"]["n_ops"] == 2
+
+    def test_star_example_from_figure2(self):
+        """Find medium-size stars discovered recently (B and D)."""
+        from repro.analytics import QuerySelect
+
+        index = star_bitmap_index()
+        query = QuerySelect([["size:medium"], ["year:recent"]])
+        mask, _ = query.run_cim(index, seed=2)
+        assert index.entries_matching(mask) == ["B", "D"]
+
+
+class TestCompressedSensingPipeline:
+    """Sec. III.B / Fig. 6: program A once, run AMP against the array."""
+
+    def test_amp_on_crossbar_close_to_exact(self):
+        problem = CsProblem.generate(n=192, m=96, k=10, seed=3)
+        exact = amp_recover(
+            problem.measurements,
+            DenseOperator(problem.matrix),
+            problem.n,
+            iterations=30,
+            ground_truth=problem.signal,
+        )
+        operator = CrossbarOperator(problem.matrix, seed=4)
+        analog = amp_recover(
+            problem.measurements,
+            operator,
+            problem.n,
+            iterations=30,
+            ground_truth=problem.signal,
+        )
+        assert exact.final_nmse < 1e-8
+        assert analog.final_nmse < 0.05  # device-noise floor
+
+    def test_amp_through_accelerator_facade(self):
+        problem = CsProblem.generate(n=128, m=64, k=6, seed=5)
+        accelerator = CimAccelerator(seed=6)
+        accelerator.store_matrix("A", problem.matrix)
+
+        class FacadeOperator:
+            def matvec(self, x):
+                return accelerator.matvec("A", x)
+
+            def rmatvec(self, z):
+                return accelerator.rmatvec("A", z)
+
+        result = amp_recover(
+            problem.measurements,
+            FacadeOperator(),
+            problem.n,
+            iterations=25,
+            ground_truth=problem.signal,
+        )
+        assert result.final_nmse < 0.1
+
+
+class TestIotPipeline:
+    """Sec. IV.A: train -> quantize -> map to crossbars -> infer."""
+
+    def test_quantized_cim_inference_keeps_accuracy(self):
+        task = SensoryTask(n_features=24, n_classes=5, separation=2.8, seed=7)
+        x_train, y_train, x_test, y_test = task.train_test_split(500, 150, seed=8)
+        network = Sequential.mlp([24, 32, 5], seed=9)
+        train_classifier(network, x_train, y_train, epochs=30, seed=10)
+        software = network.accuracy(x_test, y_test)
+        assert software > 0.7
+
+        quantized = quantize_network(network, 4)
+        cim = CimNetwork(quantized, dac_bits=8, adc_bits=8, seed=11)
+        analog = cim.accuracy(x_test, y_test)
+        assert analog >= software - 0.12
+
+    def test_energy_accounting_attached(self):
+        network = Sequential.mlp([16, 16, 4], seed=12)
+        cim = CimNetwork(network, seed=13)
+        assert cim.inference_energy_j() > 0

@@ -1,0 +1,87 @@
+"""Integration tests of the reliability toolkit across applications."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarOperator
+from repro.devices import PcmDevice
+from repro.ml.hd import AssociativeMemory, CimAssociativeMemory, random_hypervector
+from repro.signal import CsProblem, amp_recover
+
+
+class TestDriftCalibrationPipeline:
+    def test_calibration_restores_amp_recovery_after_drift(self):
+        """A month of drift degrades AMP recovery; one calibration pass
+        (no reprogramming) restores most of it."""
+        problem = CsProblem.generate(n=160, m=80, k=8, seed=0)
+        device = PcmDevice(prog_noise_sigma=0.005, read_noise_sigma=0.005)
+        operator = CrossbarOperator(problem.matrix, device=device, seed=1)
+
+        fresh = amp_recover(
+            problem.measurements, operator, problem.n,
+            iterations=25, ground_truth=problem.signal,
+        ).final_nmse
+
+        operator.advance_time(30 * 24 * 3600.0)
+        drifted = amp_recover(
+            problem.measurements, operator, problem.n,
+            iterations=25, ground_truth=problem.signal,
+        ).final_nmse
+
+        operator.calibrate(n_probes=16, seed=2)
+        calibrated = amp_recover(
+            problem.measurements, operator, problem.n,
+            iterations=25, ground_truth=problem.signal,
+        ).final_nmse
+
+        assert drifted > fresh
+        assert calibrated < drifted
+        assert calibrated < 5 * fresh  # most of the loss recovered
+
+    def test_one_shot_hd_learning_survives_faults(self):
+        """HD one-shot learning (single example per class) plus 5 %
+        stuck devices still classifies noisy queries correctly."""
+        rng = np.random.default_rng(3)
+        memory = AssociativeMemory(d=4096, seed=4)
+        bases = {}
+        for label in range(5):
+            base = random_hypervector(4096, seed=rng)
+            bases[label] = base
+            memory.train(label, base)  # one-shot: single training vector
+
+        cim = CimAssociativeMemory(memory, seed=5)
+        cim.array_direct.inject_stuck_faults(0.05, seed=6)
+        cim.array_complement.inject_stuck_faults(0.05, seed=7)
+
+        hits, trials = 0, 0
+        for label, base in bases.items():
+            for _ in range(4):
+                query = base.copy()
+                flips = rng.choice(4096, 600, replace=False)
+                query[flips] ^= 1
+                hits += cim.classify(query) == label
+                trials += 1
+        assert hits / trials >= 0.95
+
+    def test_noise_aware_training_improves_analog_accuracy(self):
+        """Networks trained with weight noise hold up better when
+        executed on a *very* noisy crossbar."""
+        from repro.ml.nn import CimNetwork, Sequential, train_classifier
+        from repro.workloads import SensoryTask
+
+        task = SensoryTask(n_features=24, n_classes=5, separation=2.0, seed=8)
+        x_train, y_train, x_test, y_test = task.train_test_split(600, 200, seed=9)
+        noisy_device = PcmDevice(prog_noise_sigma=0.08, read_noise_sigma=0.08)
+
+        accuracies = {}
+        for sigma in (0.0, 0.15):
+            network = Sequential.mlp([24, 32, 5], seed=10)
+            train_classifier(
+                network, x_train, y_train, epochs=30,
+                weight_noise_sigma=sigma, seed=11,
+            )
+            cim = CimNetwork(network, device=noisy_device, seed=12)
+            accuracies[sigma] = cim.accuracy(x_test, y_test)
+        # Noise-aware training must not hurt, and usually helps, under
+        # heavy device noise.
+        assert accuracies[0.15] >= accuracies[0.0] - 0.03

@@ -1,0 +1,50 @@
+"""Tests of the sense amplifier."""
+
+import numpy as np
+import pytest
+
+from repro.logic import SenseAmplifier
+
+
+class TestConstruction:
+    def test_requires_references(self):
+        with pytest.raises(ValueError):
+            SenseAmplifier(())
+
+    def test_requires_ascending(self):
+        with pytest.raises(ValueError, match="ascending"):
+            SenseAmplifier((2.0, 1.0))
+        with pytest.raises(ValueError, match="ascending"):
+            SenseAmplifier((1.0, 1.0))
+
+
+class TestRegion:
+    def test_region_indexing(self):
+        amp = SenseAmplifier((1.0, 2.0))
+        currents = np.array([0.5, 1.5, 2.5])
+        assert np.array_equal(amp.region(currents), [0, 1, 2])
+
+    def test_region_boundary(self):
+        amp = SenseAmplifier((1.0,))
+        assert amp.region(np.array([1.0]))[0] == 1  # side="right"
+
+
+class TestDecisions:
+    def test_above(self):
+        amp = SenseAmplifier((1.0,))
+        out = amp.above(np.array([0.9, 1.1]))
+        assert np.array_equal(out, [0, 1])
+        assert out.dtype == np.uint8
+
+    def test_above_requires_single_reference(self):
+        with pytest.raises(ValueError):
+            SenseAmplifier((1.0, 2.0)).above(np.zeros(1))
+
+    def test_within_window(self):
+        amp = SenseAmplifier((1.0, 2.0))
+        out = amp.within_window(np.array([0.5, 1.5, 2.5]))
+        assert np.array_equal(out, [0, 1, 0])
+
+    def test_within_window_requires_two_references(self):
+        with pytest.raises(ValueError):
+            SenseAmplifier((1.0,)).within_window(np.zeros(1))

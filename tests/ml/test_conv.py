@@ -1,0 +1,129 @@
+"""Tests of the convolutional path and its crossbar mapping."""
+
+import numpy as np
+import pytest
+
+from repro.devices import PcmDevice
+from repro.ml.nn import CimConvNet, Conv2d, ConvNet, im2col
+from repro.workloads import OrientedPatternTask
+
+
+class TestIm2col:
+    def test_patch_contents(self, rng):
+        images = rng.random((2, 6, 7))
+        patches = im2col(images, 3)
+        assert patches.shape == (2, 4, 5, 9)
+        assert np.allclose(patches[1, 2, 3], images[1, 2:5, 3:6].ravel())
+
+    def test_kernel_one_is_identity(self, rng):
+        images = rng.random((1, 4, 4))
+        patches = im2col(images, 1)
+        assert np.allclose(patches[0, :, :, 0], images[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((4, 4)), 3)  # not batched
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 4, 4)), 5)  # kernel too large
+
+
+class TestConv2d:
+    def test_matches_naive_convolution(self, rng):
+        conv = Conv2d(n_filters=3, kernel=3, seed=0)
+        image = rng.random((1, 6, 6))
+        out = conv.forward(image)
+        # naive check at one location and filter
+        kernel = conv.weights[1].reshape(3, 3)
+        expected = float((image[0, 2:5, 1:4] * kernel).sum() + conv.bias[1])
+        assert out[0, 2, 1, 1] == pytest.approx(expected)
+
+    def test_output_shape(self, rng):
+        conv = Conv2d(n_filters=4, kernel=3, seed=1)
+        assert conv.forward(rng.random((5, 8, 8))).shape == (5, 6, 6, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Conv2d(n_filters=0)
+
+
+class TestConvNetTraining:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        task = OrientedPatternTask(size=8)
+        x_train, y_train, x_test, y_test = task.train_test_split(500, 150, seed=0)
+        network = ConvNet(image_size=8, n_classes=3, n_filters=6, kernel=3, seed=1)
+        losses = network.train(x_train, y_train, epochs=15, seed=2)
+        return network, losses, x_test, y_test
+
+    def test_loss_decreases(self, trained):
+        _, losses, _, _ = trained
+        assert losses[-1] < 0.2 * losses[0]
+
+    def test_high_accuracy_on_orientation_task(self, trained):
+        network, _, x_test, y_test = trained
+        assert network.accuracy(x_test, y_test) > 0.9
+
+    def test_training_validation(self):
+        network = ConvNet(image_size=8, n_classes=3, seed=3)
+        with pytest.raises(ValueError):
+            network.train(np.zeros((4, 8, 8)), np.zeros(4, dtype=int), epochs=0)
+
+
+class TestCimConvNet:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        task = OrientedPatternTask(size=8)
+        x_train, y_train, x_test, y_test = task.train_test_split(500, 60, seed=4)
+        network = ConvNet(image_size=8, n_classes=3, n_filters=6, kernel=3, seed=5)
+        network.train(x_train, y_train, epochs=15, seed=6)
+        return network, x_test, y_test
+
+    def test_ideal_mapping_matches_digital(self, trained):
+        network, x_test, _ = trained
+        cim = CimConvNet(
+            network, device=PcmDevice.ideal(), dac_bits=None, adc_bits=None, seed=0
+        )
+        digital = network.forward(x_test[:3])
+        analog = np.stack([cim.forward_one(image) for image in x_test[:3]])
+        assert np.allclose(analog, digital, atol=1e-8)
+
+    def test_noisy_mapping_keeps_accuracy(self, trained):
+        """Sec. IV.A.2: CNN layers map to crossbars with limited
+        precision and comparable accuracy."""
+        network, x_test, y_test = trained
+        cim = CimConvNet(network, seed=1)
+        digital = network.accuracy(x_test, y_test)
+        analog = cim.accuracy(x_test, y_test)
+        assert analog >= digital - 0.15
+
+    def test_stats_count_patch_mvms(self, trained):
+        network, x_test, _ = trained
+        cim = CimConvNet(network, seed=2)
+        cim.forward_one(x_test[0])
+        # 6x6 feature positions + 1 dense head MVM
+        assert cim.stats["n_matvec"] == 36 + 1
+
+
+class TestNoiseAwareTraining:
+    def test_weight_noise_training_still_learns(self):
+        from repro.ml.nn import Sequential, train_classifier
+        from repro.workloads import SensoryTask
+
+        task = SensoryTask(n_features=16, n_classes=4, separation=2.5, seed=0)
+        x_train, y_train, x_test, y_test = task.train_test_split(400, 150, seed=1)
+        network = Sequential.mlp([16, 24, 4], seed=2)
+        losses = train_classifier(
+            network, x_train, y_train, epochs=25, weight_noise_sigma=0.1, seed=3
+        )
+        assert losses[-1] < losses[0]
+        assert network.accuracy(x_test, y_test) > 0.6
+
+    def test_negative_noise_rejected(self):
+        from repro.ml.nn import Sequential, train_classifier
+
+        network = Sequential.mlp([4, 2], seed=0)
+        with pytest.raises(ValueError):
+            train_classifier(
+                network, np.zeros((8, 4)), np.zeros(8, dtype=int),
+                weight_noise_sigma=-0.1,
+            )

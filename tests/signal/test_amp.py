@@ -1,0 +1,135 @@
+"""Tests of AMP recovery on exact and crossbar back-ends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crossbar import CrossbarOperator, DenseOperator
+from repro.signal import CsProblem, amp_recover, soft_threshold
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        out = soft_threshold(np.array([-3.0, -0.5, 0.0, 0.5, 3.0]), 1.0)
+        assert np.allclose(out, [-2.0, 0.0, 0.0, 0.0, 2.0])
+
+    def test_zero_tau_is_identity(self):
+        x = np.array([1.0, -2.0])
+        assert np.array_equal(soft_threshold(x, 0.0), x)
+
+    def test_rejects_negative_tau(self):
+        with pytest.raises(ValueError):
+            soft_threshold(np.zeros(2), -0.1)
+
+    @given(st.floats(0.0, 5.0), st.floats(-10.0, 10.0))
+    def test_odd_and_contractive(self, tau, v):
+        value = soft_threshold(np.array([v]), tau)[0]
+        mirrored = soft_threshold(np.array([-v]), tau)[0]
+        assert value == pytest.approx(-mirrored)
+        assert abs(value) <= abs(v)
+
+
+class TestExactRecovery:
+    def test_noiseless_recovery_to_machine_precision(self):
+        problem = CsProblem.generate(n=256, m=128, k=12, seed=0)
+        result = amp_recover(
+            problem.measurements,
+            DenseOperator(problem.matrix),
+            problem.n,
+            iterations=50,
+            ground_truth=problem.signal,
+        )
+        assert result.final_nmse < 1e-10
+
+    def test_noisy_recovery_reaches_noise_floor(self):
+        problem = CsProblem.generate(n=256, m=128, k=12, noise_std=0.01, seed=1)
+        result = amp_recover(
+            problem.measurements,
+            DenseOperator(problem.matrix),
+            problem.n,
+            iterations=40,
+            ground_truth=problem.signal,
+        )
+        assert result.final_nmse < 5e-3
+
+    def test_nmse_monotone_trend(self):
+        problem = CsProblem.generate(n=256, m=128, k=12, seed=2)
+        result = amp_recover(
+            problem.measurements,
+            DenseOperator(problem.matrix),
+            problem.n,
+            iterations=25,
+            ground_truth=problem.signal,
+        )
+        history = result.nmse_history
+        assert history[-1] < history[0] / 100
+
+    def test_histories_aligned(self):
+        problem = CsProblem.generate(n=128, m=64, k=6, seed=3)
+        result = amp_recover(
+            problem.measurements,
+            DenseOperator(problem.matrix),
+            problem.n,
+            iterations=10,
+            ground_truth=problem.signal,
+        )
+        assert len(result.residual_norms) == len(result.thresholds)
+        assert len(result.nmse_history) == result.iterations
+
+    def test_final_nmse_requires_ground_truth(self):
+        problem = CsProblem.generate(n=64, m=32, k=4, seed=4)
+        result = amp_recover(
+            problem.measurements, DenseOperator(problem.matrix), problem.n, iterations=5
+        )
+        with pytest.raises(ValueError):
+            _ = result.final_nmse
+
+    def test_too_sparse_measurement_fails_gracefully(self):
+        """Far above the phase transition AMP cannot recover; NMSE
+        stays high but nothing blows up."""
+        problem = CsProblem.generate(n=256, m=32, k=30, seed=5)
+        result = amp_recover(
+            problem.measurements,
+            DenseOperator(problem.matrix),
+            problem.n,
+            iterations=30,
+            ground_truth=problem.signal,
+        )
+        assert np.isfinite(result.final_nmse)
+        assert result.final_nmse > 0.1
+
+    @pytest.mark.parametrize("bad", [{"iterations": 0}, {"threshold_factor": 0.0}])
+    def test_parameter_validation(self, bad):
+        problem = CsProblem.generate(n=64, m=32, k=4, seed=6)
+        with pytest.raises(ValueError):
+            amp_recover(
+                problem.measurements,
+                DenseOperator(problem.matrix),
+                problem.n,
+                **bad,
+            )
+
+
+class TestCrossbarRecovery:
+    def test_recovery_close_to_exact(self):
+        """Fig. 6: the same AMP loop with crossbar MVMs still recovers,
+        to within the device-noise floor."""
+        problem = CsProblem.generate(n=256, m=128, k=12, seed=7)
+        operator = CrossbarOperator(problem.matrix, seed=8)
+        result = amp_recover(
+            problem.measurements,
+            operator,
+            problem.n,
+            iterations=30,
+            ground_truth=problem.signal,
+        )
+        assert result.final_nmse < 5e-2
+        assert operator.n_matvec == operator.n_rmatvec == result.iterations
+
+    def test_same_array_serves_both_directions(self):
+        problem = CsProblem.generate(n=128, m=64, k=6, seed=9)
+        operator = CrossbarOperator(problem.matrix, seed=10)
+        amp_recover(problem.measurements, operator, problem.n, iterations=5)
+        stats = operator.stats
+        assert stats["n_matvec"] == 5 and stats["n_rmatvec"] == 5

@@ -1,0 +1,80 @@
+"""Tests of the compressed-sensing problem setup."""
+
+import numpy as np
+import pytest
+
+from repro.signal import CsProblem
+from repro.workloads.signals import gaussian_measurement_matrix, measure, sparse_signal
+
+
+class TestSparseSignal:
+    def test_sparsity(self):
+        x = sparse_signal(100, 7, seed=0)
+        assert np.count_nonzero(x) == 7
+
+    def test_rademacher_amplitudes(self):
+        x = sparse_signal(50, 10, amplitude="rademacher", seed=1)
+        assert set(np.unique(x[x != 0])) <= {-1.0, 1.0}
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            sparse_signal(10, 0)
+        with pytest.raises(ValueError):
+            sparse_signal(10, 11)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            sparse_signal(10, 2, amplitude="cauchy")
+
+
+class TestMeasurementMatrix:
+    def test_column_normalization(self):
+        a = gaussian_measurement_matrix(200, 400, seed=2)
+        norms = np.linalg.norm(a, axis=0)
+        assert np.mean(norms) == pytest.approx(1.0, rel=0.05)
+
+    def test_measure_noiseless(self):
+        a = gaussian_measurement_matrix(4, 8, seed=3)
+        x = sparse_signal(8, 2, seed=4)
+        assert np.allclose(measure(a, x), a @ x)
+
+    def test_measure_noise_level(self):
+        a = np.zeros((2000, 10))
+        y = measure(a, np.zeros(10), noise_std=0.1, seed=5)
+        assert np.std(y) == pytest.approx(0.1, rel=0.1)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            measure(np.eye(2), np.ones(2), noise_std=-1)
+
+
+class TestCsProblem:
+    def test_generate_consistent(self):
+        problem = CsProblem.generate(n=128, m=64, k=8, seed=6)
+        assert problem.n == 128 and problem.m == 64
+        assert problem.sparsity == 8
+        assert problem.undersampling == pytest.approx(0.5)
+        assert np.allclose(problem.measurements, problem.matrix @ problem.signal)
+
+    def test_rejects_overdetermined(self):
+        with pytest.raises(ValueError, match="M < N"):
+            CsProblem(
+                matrix=np.eye(4),
+                signal=np.ones(4),
+                measurements=np.ones(4),
+                noise_std=0.0,
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CsProblem(
+                matrix=np.zeros((2, 4)),
+                signal=np.ones(3),
+                measurements=np.ones(2),
+                noise_std=0.0,
+            )
+
+    def test_recovery_nmse(self):
+        problem = CsProblem.generate(n=64, m=32, k=4, seed=7)
+        assert problem.recovery_nmse(problem.signal) == 0.0
+        assert problem.recovery_nmse(np.zeros(64)) == pytest.approx(1.0)

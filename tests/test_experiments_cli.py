@@ -1,0 +1,74 @@
+"""Tests of the experiments registry and the CLI entry point."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import (
+    REGISTRY,
+    fig2_report,
+    hd_asic_report,
+    table1_report,
+)
+
+
+class TestRegistry:
+    def test_covers_every_evaluation_artifact(self):
+        assert set(REGISTRY) == {
+            "fig2",
+            "fig3",
+            "fig4",
+            "table1",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "hd_asic",
+        }
+
+    def test_entries_have_descriptions(self):
+        for description, fn in REGISTRY.values():
+            assert description
+            assert callable(fn)
+
+
+class TestReports:
+    def test_fig2_metrics(self):
+        result = fig2_report()
+        assert result.metrics["gate_errors"] == 0
+        assert "Fig. 2" in result.text
+
+    def test_table1_exact_anchors(self):
+        metrics = table1_report().metrics
+        assert metrics["fpga_latency_ns"] == pytest.approx(665.0)
+        assert metrics["power_advantage"] == pytest.approx(120.0, rel=0.02)
+
+    def test_hd_asic_anchors(self):
+        metrics = hd_asic_report().metrics
+        assert metrics["area_improvement"] == pytest.approx(9.0, rel=0.05)
+        assert metrics["energy_improvement"] == pytest.approx(5.0, rel=0.05)
+
+    def test_reports_are_printable(self):
+        result = table1_report()
+        assert str(result) == result.text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "hd_asic" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_run_with_output_dir(self, tmp_path, capsys):
+        assert main(["run", "hd_asic", "-o", str(tmp_path)]) == 0
+        written = tmp_path / "hd_asic.txt"
+        assert written.exists()
+        assert "9.0x" in written.read_text()
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,111 @@
+"""Tests of repro._util helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import (
+    as_rng,
+    bits_to_bytes,
+    bytes_to_bits,
+    check_fraction,
+    check_in,
+    check_positive,
+    check_shape,
+    hamming_distance,
+    nmse,
+    nmse_db,
+    normalized_hamming,
+)
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_rng(7).integers(0, 1000, 10)
+        b = as_rng(7).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+
+class TestCheckers:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", bad)
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_fraction_accepts(self, value):
+        assert check_fraction("f", value) == value
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 5])
+    def test_check_fraction_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_fraction("f", bad)
+
+    def test_check_in(self):
+        assert check_in("op", "or", ("or", "and")) == "or"
+        with pytest.raises(ValueError, match="op must be one of"):
+            check_in("op", "nand", ("or", "and"))
+
+    def test_check_shape(self):
+        arr = np.zeros((2, 3))
+        assert check_shape("a", arr, (2, 3)) is arr
+        with pytest.raises(ValueError, match="shape"):
+            check_shape("a", arr, (3, 2))
+
+
+class TestNmse:
+    def test_zero_error(self):
+        x = np.array([1.0, 2.0])
+        assert nmse(x, x) == 0.0
+        assert nmse_db(x, x) == float("-inf")
+
+    def test_known_value(self):
+        ref = np.array([1.0, 0.0])
+        est = np.array([0.0, 0.0])
+        assert nmse(est, ref) == pytest.approx(1.0)
+        assert nmse_db(est, ref) == pytest.approx(0.0)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError, match="zero energy"):
+            nmse(np.ones(3), np.zeros(3))
+
+
+class TestHamming:
+    def test_distance(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert hamming_distance(a, b) == 2
+        assert normalized_hamming(a, b) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            hamming_distance(np.zeros(3), np.zeros(4))
+
+    def test_empty_normalized_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_hamming(np.array([]), np.array([]))
+
+
+class TestBitPacking:
+    @given(st.binary(min_size=0, max_size=64))
+    def test_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_msb_first(self):
+        bits = bytes_to_bits(b"\x80")
+        assert bits[0] == 1 and bits[1:].sum() == 0
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.ones(7, dtype=np.uint8))

@@ -1,0 +1,42 @@
+"""Tests of the oriented-pattern image task."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import OrientedPatternTask
+
+
+class TestOrientedPatternTask:
+    def test_sample_shapes(self):
+        task = OrientedPatternTask(size=8)
+        patches, labels = task.sample(20, seed=0)
+        assert patches.shape == (20, 8, 8)
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+    def test_orientations_are_distinct(self):
+        """Horizontal stripes vary along rows, vertical along columns."""
+        task = OrientedPatternTask(size=8, noise=0.0)
+        horizontal = task._pattern(0, phase=0.3)
+        vertical = task._pattern(1, phase=0.3)
+        assert np.allclose(horizontal, horizontal[:, :1])  # constant per row
+        assert np.allclose(vertical, vertical[:1, :])  # constant per column
+
+    def test_split(self):
+        task = OrientedPatternTask()
+        x_train, y_train, x_test, y_test = task.train_test_split(30, 10, seed=1)
+        assert len(x_train) == 30 and len(x_test) == 10
+        assert len(y_train) == 30 and len(y_test) == 10
+
+    def test_deterministic_with_seed(self):
+        task = OrientedPatternTask()
+        a, _ = task.sample(5, seed=2)
+        b, _ = task.sample(5, seed=2)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OrientedPatternTask(size=2)
+        with pytest.raises(ValueError):
+            OrientedPatternTask(noise=-0.1)
+        with pytest.raises(ValueError):
+            OrientedPatternTask().sample(0)

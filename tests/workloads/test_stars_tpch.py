@@ -1,0 +1,81 @@
+"""Tests of the Fig. 2 star catalog and the TPC-H generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import STAR_CATALOG, generate_lineitem, star_bitmap_index
+from repro.workloads.tpch import query6_mask, query6_reference
+
+
+class TestStarCatalog:
+    def test_eight_entries(self):
+        assert len(STAR_CATALOG) == 8
+        assert list(STAR_CATALOG) == list("ABCDEFGH")
+
+    def test_figure_values(self):
+        assert STAR_CATALOG["A"] == (55, "large", 2016)
+        assert STAR_CATALOG["H"] == (30, "small", 2011)
+
+    def test_seven_bins(self):
+        """Fig. 2b: the three characteristics encode into seven rows."""
+        index = star_bitmap_index()
+        assert index.n_bins == 7
+
+    def test_far_bin_matches_definition(self):
+        """"a star with distance larger than 40 is defined as far"."""
+        index = star_bitmap_index()
+        far = index.row("dist:far")
+        expected = [STAR_CATALOG[e][0] > 40 for e in STAR_CATALOG]
+        assert np.array_equal(far.astype(bool), expected)
+
+    def test_size_bins_partition(self):
+        index = star_bitmap_index()
+        total = (
+            index.row("size:large") + index.row("size:medium") + index.row("size:small")
+        )
+        assert np.array_equal(total, np.ones(8))
+
+    def test_year_bins_partition(self):
+        index = star_bitmap_index()
+        total = index.row("year:recent") + index.row("year:old")
+        assert np.array_equal(total, np.ones(8))
+
+
+class TestTpchGenerator:
+    def test_columns_present(self):
+        table = generate_lineitem(100, seed=0)
+        assert set(table) == {"ship_year", "discount", "quantity", "extendedprice"}
+
+    def test_value_ranges(self):
+        table = generate_lineitem(5000, seed=1)
+        assert table["ship_year"].min() >= 1992
+        assert table["ship_year"].max() <= 1998
+        assert table["discount"].min() >= 0.0
+        assert table["discount"].max() <= 0.10 + 1e-9
+        assert table["quantity"].min() >= 1
+        assert table["quantity"].max() <= 50
+
+    def test_deterministic_with_seed(self):
+        a = generate_lineitem(50, seed=2)
+        b = generate_lineitem(50, seed=2)
+        assert np.array_equal(a["quantity"], b["quantity"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate_lineitem(0)
+
+    def test_query6_mask_and_revenue_consistent(self):
+        table = generate_lineitem(2000, seed=3)
+        mask = query6_mask(table)
+        manual = float(
+            (table["extendedprice"] * table["discount"] * mask).sum()
+        )
+        assert query6_reference(table) == pytest.approx(manual)
+
+    def test_query6_selects_only_qualifying_rows(self):
+        table = generate_lineitem(2000, seed=4)
+        mask = query6_mask(table)
+        assert np.all(table["ship_year"][mask] == 1994)
+        assert np.all(table["quantity"][mask] < 24)
+        assert np.all(table["discount"][mask] >= 0.05 - 1e-9)
+        assert np.all(table["discount"][mask] <= 0.07 + 1e-9)
