@@ -1,0 +1,112 @@
+"""Smoke benchmark: batched analog pipeline vs the per-sample loop.
+
+The batched MVM path (``CrossbarOperator.matmat`` and
+``CimNetwork.forward_batch``) exists to amortize periphery and Python
+overhead across a whole batch — the crossbar's inherent parallelism.
+This benchmark guards three properties at once:
+
+* **speed** — a batch-64 ``forward_batch`` must beat streaming the same
+  64 samples through ``forward_one`` by at least 5x;
+* **equivalence** — with deterministic reads the batched path must
+  reproduce the looped path to well under the 5% divergence gate (it is
+  bitwise-equal by construction; any >5% drift fails the build);
+* **fidelity under noise** — with the default noisy PCM device, batched
+  and looped results are two read-noise realizations of the same
+  computation, so each must sit equally close to the exact digital
+  reference: batching may not add systematic error.
+
+Run:  PYTHONPATH=src python -m pytest -q benchmarks/bench_batched_mvm.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.crossbar import CrossbarOperator
+from repro.devices import PcmDevice
+from repro.ml.nn import CimNetwork, Sequential
+
+BATCH = 64
+MIN_SPEEDUP = 5.0
+MAX_DIVERGENCE = 0.05
+
+
+def relative_divergence(estimate, reference):
+    return float(np.linalg.norm(estimate - reference) / np.linalg.norm(reference))
+
+
+def test_batched_vs_looped_smoke(write_result):
+    rng = np.random.default_rng(0)
+    network = Sequential.mlp([64, 96, 10], seed=1)
+    inputs = rng.standard_normal((BATCH, 64))
+    digital = network.forward(inputs)
+
+    # best-of-3 on BOTH paths so scheduler jitter on a shared CI
+    # runner cannot fail the speedup gate by itself
+    looped = CimNetwork(network, seed=2)
+    looped_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        reference = np.stack([looped.forward_one(sample) for sample in inputs])
+        looped_s = min(looped_s, time.perf_counter() - t0)
+
+    batched = CimNetwork(network, seed=2)
+    batched_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        logits = batched.forward_batch(inputs)
+        batched_s = min(batched_s, time.perf_counter() - t0)
+
+    # Deterministic-read twins: the batched path must reproduce the
+    # looped path within the CI divergence gate (it is exact).
+    quiet = PcmDevice(read_noise_sigma=0.0)
+    quiet_batched = CimNetwork(network, device=quiet, seed=2)
+    quiet_looped = CimNetwork(network, device=quiet, seed=2)
+    quiet_reference = np.stack(
+        [quiet_looped.forward_one(sample) for sample in inputs]
+    )
+    exact_divergence = relative_divergence(
+        quiet_batched.forward_batch(inputs), quiet_reference
+    )
+
+    speedup = looped_s / batched_s
+    looped_error = relative_divergence(reference, digital)
+    batched_error = relative_divergence(logits, digital)
+
+    lines = [
+        "Batched analog MVM pipeline - batch-64 smoke benchmark",
+        f"  network              : {network.layer_dims} MLP on PCM crossbars",
+        f"  looped forward_one   : {looped_s * 1e3:8.2f} ms / batch",
+        f"  forward_batch        : {batched_s * 1e3:8.2f} ms / batch",
+        f"  speedup              : {speedup:8.1f}x  (required >= {MIN_SPEEDUP}x)",
+        f"  exact-path divergence: {exact_divergence:8.2%}  (required <= {MAX_DIVERGENCE:.0%})",
+        f"  looped error vs exact: {looped_error:8.2%}",
+        f"  batched error vs exact: {batched_error:7.2%}  (may not exceed looped + 1%)",
+    ]
+    write_result("batched_mvm", "\n".join(lines))
+
+    assert speedup >= MIN_SPEEDUP
+    assert exact_divergence <= MAX_DIVERGENCE
+    assert batched_error <= looped_error + 0.01
+
+
+def test_matmat_columns_track_looped_matvec():
+    """Column-by-column fidelity and counter equivalence on one operator."""
+    rng = np.random.default_rng(3)
+    matrix = rng.standard_normal((256, 256))
+    x_block = rng.standard_normal((256, BATCH))
+
+    batched = CrossbarOperator(matrix, seed=4)
+    looped = CrossbarOperator(matrix, seed=4)
+    result = batched.matmat(x_block)
+    reference = np.stack(
+        [looped.matvec(x_block[:, i]) for i in range(BATCH)], axis=1
+    )
+
+    diff = np.linalg.norm(result - reference, axis=0) / np.linalg.norm(
+        reference, axis=0
+    )
+    assert diff.max() <= MAX_DIVERGENCE
+
+    for key in ("n_matvec", "dac_conversions", "adc_conversions"):
+        assert batched.stats[key] == looped.stats[key], key

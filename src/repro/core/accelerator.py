@@ -133,6 +133,32 @@ class CimAccelerator:
         """Analog ``A.T @ z`` against a matrix region."""
         return self.matrix_region(region).rmatvec(z)
 
+    def _check_batch(self, region: str, block: np.ndarray, expected: int) -> np.ndarray:
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2:
+            raise ValueError(
+                f"batch for region {region!r} must be 2-D (features x batch), "
+                f"got {block.ndim}-D"
+            )
+        if block.shape[1] == 0:
+            raise ValueError(f"batch for region {region!r} is empty")
+        if block.shape[0] != expected:
+            raise ValueError(
+                f"batch for region {region!r} must have {expected} rows, "
+                f"got {block.shape[0]}"
+            )
+        return block
+
+    def matmat(self, region: str, x_block: np.ndarray) -> np.ndarray:
+        """Batched analog ``A @ X`` (one input vector per column)."""
+        operator = self.matrix_region(region)
+        return operator.matmat(self._check_batch(region, x_block, operator.shape[1]))
+
+    def rmatmat(self, region: str, z_block: np.ndarray) -> np.ndarray:
+        """Batched analog ``A.T @ Z`` (one input vector per column)."""
+        operator = self.matrix_region(region)
+        return operator.rmatmat(self._check_batch(region, z_block, operator.shape[0]))
+
     # -- accounting --------------------------------------------------------------
     @property
     def stats(self) -> dict[str, dict[str, float]]:

@@ -12,7 +12,10 @@ Public API
 * :class:`CrossbarOperator` — a signed real matrix mapped onto
   differential device pairs with DAC/ADC interfaces and optional tiling;
   exposes ``matvec`` (rows driven, columns read) and ``rmatvec``
-  (columns driven, rows read), exactly as the AMP mapping requires.
+  (columns driven, rows read), exactly as the AMP mapping requires,
+  plus their batched forms ``matmat``/``rmatmat`` that drive 2-D
+  voltage blocks (one input vector per column) with loop-equivalent
+  conversion accounting.
 * :class:`Dac` / :class:`Adc` — converter quantization models.
 * :func:`program_and_verify` — iterative conductance programming.
 """

@@ -5,7 +5,10 @@ converters and senses column currents through analog-to-digital
 converters; their finite resolution is one of the key precision limits
 discussed in Sec. IV.A.2.  Both models quantize symmetric signed ranges
 to ``2**bits`` uniform levels and count conversions so energy models can
-charge per conversion.
+charge per conversion.  Both accept arrays of any shape — in particular
+the 2-D ``(lines, batch)`` voltage/current blocks of the batched MVM
+pipeline — and always count one conversion per element, so a batch of
+``B`` vectors is charged exactly like ``B`` per-vector calls.
 """
 
 from __future__ import annotations
@@ -56,7 +59,11 @@ class Dac:
         self.n_conversions = 0
 
     def to_voltages(self, normalized: np.ndarray) -> np.ndarray:
-        """Convert normalized values in ``[-1, 1]`` into drive voltages."""
+        """Convert normalized values in ``[-1, 1]`` into drive voltages.
+
+        Works element-wise on any shape (vector or ``(lines, batch)``
+        block) and counts one conversion per element.
+        """
         normalized = np.asarray(normalized, dtype=float)
         voltages = np.clip(normalized, -1.0, 1.0) * self.v_max
         if self.bits is not None:
@@ -89,7 +96,11 @@ class Adc:
         self.n_conversions = 0
 
     def quantize(self, currents: np.ndarray) -> np.ndarray:
-        """Quantize sensed currents; returns values in amperes."""
+        """Quantize sensed currents; returns values in amperes.
+
+        Works element-wise on any shape (vector or ``(lines, batch)``
+        block) and counts one conversion per element.
+        """
         currents = np.asarray(currents, dtype=float)
         self.n_conversions += currents.size
         if self.bits is None:

@@ -6,6 +6,13 @@ paper's AMP mapping needs (Fig. 6):
 
 * ``matvec(x)``  -> ``A @ x``   (inputs applied to rows, columns read)
 * ``rmatvec(z)`` -> ``A.T @ z`` (inputs applied to columns, rows read)
+* ``matmat(X)``  -> ``A @ X``   (batched: one input vector per column)
+* ``rmatmat(Z)`` -> ``A.T @ Z`` (batched transpose reads)
+
+The batched products drive the arrays with 2-D voltage blocks, which
+amortizes the Python/periphery overhead of the per-vector path while
+keeping conversion counters loop-equivalent (one DAC/ADC conversion per
+element per vector), so the energy models see identical totals.
 
 Physically the array stores ``A.T`` — the signal dimension ``n`` runs
 along the rows and the measurement dimension ``m`` along the columns, so
@@ -240,17 +247,17 @@ class CrossbarOperator:
             raise ValueError("n_probes must be >= 1")
         rng = as_rng(seed)
         m, n = self.shape
-        numerator = 0.0
-        denominator = 0.0
         previous_gain = self._gain
         self._gain = 1.0  # probe the raw (uncorrected) output
         try:
-            for _ in range(n_probes):
-                probe = rng.standard_normal(n)
-                reference = self.matrix @ probe
-                observed = self.matvec(probe)
-                numerator += float(observed @ reference)
-                denominator += float(observed @ observed)
+            # One batched read of all probes; drawing (n_probes, n) and
+            # transposing keeps probe i identical to what the former
+            # per-probe loop would have drawn from the same seed.
+            probes = rng.standard_normal((n_probes, n)).T
+            reference = self.matrix @ probes
+            observed = self.matmat(probes)
+            numerator = float(np.sum(observed * reference))
+            denominator = float(np.sum(observed * observed))
         finally:
             self._gain = previous_gain
         if denominator == 0.0:
@@ -264,8 +271,16 @@ class CrossbarOperator:
             return np.zeros_like(vector), 0.0
         return vector / peak, peak
 
+    def _normalize_block(self, block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-column peak normalization; zero columns normalize to zero."""
+        peaks = (
+            np.max(np.abs(block), axis=0) if block.size else np.zeros(block.shape[1])
+        )
+        safe = np.where(peaks == 0.0, 1.0, peaks)
+        return block / safe, peaks
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Analog evaluation of ``A @ x``."""
+        """Analog evaluation of ``A @ x`` (use :meth:`matmat` for batches)."""
         x = np.asarray(x, dtype=float)
         m, n = self.shape
         if x.shape != (n,):
@@ -300,6 +315,77 @@ class CrossbarOperator:
                 currents = self._tiles[(ri, ci)].row_currents(voltages[c0:c1])
                 result[r0:r1] += self.adc_rows.quantize(currents)
         return result * self._gain * peak / (self._scale * self.v_read)
+
+    def matmat(self, x_block: np.ndarray) -> np.ndarray:
+        """Analog evaluation of ``A @ X`` for a block of input vectors.
+
+        ``x_block`` has shape ``(n, B)`` — one input vector per column,
+        matching the crossbar's natural parallelism.  Each column is
+        peak-normalized independently (identical to what ``matvec``
+        would do), all-zero columns never touch the hardware (so DAC/ADC
+        conversion counters equal ``B`` looped ``matvec`` calls), and
+        tile partial sums accumulate digitally after the ADC exactly as
+        in the per-vector path.
+        """
+        x_block = np.asarray(x_block, dtype=float)
+        m, n = self.shape
+        if x_block.ndim != 2 or x_block.shape[0] != n:
+            raise ValueError(f"X must have shape ({n}, B), got {x_block.shape}")
+        if x_block.shape[1] == 0:
+            raise ValueError("X must contain at least one column")
+        self.n_matvec += x_block.shape[1]
+
+        def tile_currents(voltages):
+            for ri, (r0, r1) in enumerate(self._row_spans):
+                v_block = voltages[r0:r1]
+                for ci, (c0, c1) in enumerate(self._col_spans):
+                    yield (c0, c1), self._tiles[(ri, ci)].column_currents(v_block)
+
+        return self._batched_product(x_block, m, self.adc_columns, tile_currents)
+
+    def rmatmat(self, z_block: np.ndarray) -> np.ndarray:
+        """Analog evaluation of ``A.T @ Z`` (batched transpose reads).
+
+        ``z_block`` has shape ``(m, B)``; the result has shape
+        ``(n, B)``.  Semantics and accounting mirror :meth:`matmat`.
+        """
+        z_block = np.asarray(z_block, dtype=float)
+        m, n = self.shape
+        if z_block.ndim != 2 or z_block.shape[0] != m:
+            raise ValueError(f"Z must have shape ({m}, B), got {z_block.shape}")
+        if z_block.shape[1] == 0:
+            raise ValueError("Z must contain at least one column")
+        self.n_rmatvec += z_block.shape[1]
+
+        def tile_currents(voltages):
+            for ri, (r0, r1) in enumerate(self._row_spans):
+                for ci, (c0, c1) in enumerate(self._col_spans):
+                    yield (r0, r1), self._tiles[(ri, ci)].row_currents(
+                        voltages[c0:c1]
+                    )
+
+        return self._batched_product(z_block, n, self.adc_rows, tile_currents)
+
+    def _batched_product(self, block, out_dim, adc, tile_currents):
+        """Shared batched read: normalize columns, convert, accumulate.
+
+        ``tile_currents(voltages)`` yields ``((o0, o1), currents)``
+        pairs — the output span and the analog currents of one tile
+        read — in the same tile order the per-vector path uses, so the
+        RNG consumption and conversion counts stay loop-equivalent.
+        All-zero input columns never reach the converters.
+        """
+        normalized, peaks = self._normalize_block(block)
+        out = np.zeros((out_dim, block.shape[1]))
+        live = np.flatnonzero(peaks)
+        if live.size == 0:
+            return out
+        voltages = self.dac.to_voltages(normalized[:, live])
+        result = np.zeros((out_dim, live.size))
+        for (o0, o1), currents in tile_currents(voltages):
+            result[o0:o1] += adc.quantize(currents)
+        out[:, live] = result * (self._gain * peaks[live] / (self._scale * self.v_read))
+        return out
 
     @property
     def stats(self) -> dict[str, int]:

@@ -130,13 +130,30 @@ class AssociativeMemory:
             raise ValueError("associative memory is untrained")
         return max(scores, key=scores.get)
 
+    def classify_batch(self, queries: np.ndarray) -> list[Hashable]:
+        """Winning label per query row, materializing prototypes once.
+
+        Equivalent to per-query :meth:`classify` except that prototype
+        tie-bits are drawn once for the whole batch instead of fresh per
+        query.
+        """
+        queries = np.asarray(queries)
+        if queries.ndim != 2 or queries.shape[1] != self.d:
+            raise ValueError(f"queries must have shape (B, {self.d}), got {queries.shape}")
+        labels, prototypes = self.prototype_matrix()
+        # Match counts via two 0/1 matmuls keep memory at O(B * classes)
+        # instead of a (B, classes, d) broadcast.
+        q = queries.astype(np.float64)
+        p = prototypes.astype(np.float64)
+        matches = q @ p.T + (1.0 - q) @ (1.0 - p.T)
+        winners = np.argmax(matches, axis=1)
+        return [labels[int(index)] for index in winners]
+
     def accuracy(self, queries: np.ndarray, labels) -> float:
         """Fraction of queries classified as their true label."""
         labels = list(labels)
         if len(labels) == 0:
             raise ValueError("no queries supplied")
-        hits = sum(
-            self.classify(query) == label
-            for query, label in zip(np.asarray(queries), labels)
-        )
+        predicted = self.classify_batch(np.asarray(queries))
+        hits = sum(p == label for p, label in zip(predicted, labels))
         return hits / len(labels)

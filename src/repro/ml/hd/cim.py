@@ -144,19 +144,42 @@ class CimAssociativeMemory:
         self.n_queries += 1
         return self.adc.quantize(currents)
 
+    def match_currents_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Per-class currents for a batch of queries, shape ``(B, classes)``.
+
+        The queries drive both prototype arrays as one voltage block
+        (one query per column), so the whole batch is a single pair of
+        batched array reads instead of ``B`` sequential searches.
+        """
+        queries = np.asarray(queries, dtype=np.uint8)
+        if queries.ndim != 2 or queries.shape[1] != self.d:
+            raise ValueError(f"queries must have shape (B, {self.d}), got {queries.shape}")
+        if queries.shape[0] == 0:
+            raise ValueError("batch must contain at least one query")
+        voltages = queries.T.astype(float) * self.v_read  # (d, B)
+        complement = (1 - queries.T).astype(float) * self.v_read
+        currents = self.array_direct.mvm(voltages) + self.array_complement.mvm(
+            complement
+        )
+        self.n_queries += queries.shape[0]
+        return self.adc.quantize(currents).T
+
     def classify(self, query: np.ndarray) -> Hashable:
         """Label of the class with the largest match current."""
         currents = self.match_currents(query)
         return self.labels[int(np.argmax(currents))]
 
+    def classify_batch(self, queries: np.ndarray) -> list[Hashable]:
+        """Winning label per query, via one batched search."""
+        winners = np.argmax(self.match_currents_batch(queries), axis=1)
+        return [self.labels[int(index)] for index in winners]
+
     def accuracy(self, queries: np.ndarray, labels) -> float:
         labels = list(labels)
         if len(labels) == 0:
             raise ValueError("no queries supplied")
-        hits = sum(
-            self.classify(query) == label
-            for query, label in zip(np.asarray(queries), labels)
-        )
+        predicted = self.classify_batch(np.asarray(queries))
+        hits = sum(p == label for p, label in zip(predicted, labels))
         return hits / len(labels)
 
     def advance_time(self, seconds: float) -> None:

@@ -78,12 +78,42 @@ class CimNetwork:
             current = fn(pre)
         return current
 
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Logits for a batch of samples (rows), one analog pass per layer.
+
+        The whole batch moves through each crossbar as a single
+        ``matmat`` voltage block — the samples share one analog read
+        sequence per layer instead of streaming one at a time, which is
+        where the crossbar's parallelism pays off.  Conversion counters
+        remain loop-equivalent.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 2:
+            raise ValueError(
+                f"inputs must be 2-D (batch x features), got {inputs.ndim}-D"
+            )
+        if inputs.shape[0] == 0:
+            raise ValueError("batch must contain at least one sample")
+        n_features = self.operators[0].shape[1]
+        if inputs.shape[1] != n_features:
+            raise ValueError(
+                f"inputs must have {n_features} features, got {inputs.shape[1]}"
+            )
+        current = inputs.T  # (features, batch): one sample per column
+        for operator, bias, activation in zip(
+            self.operators, self._biases, self._activations
+        ):
+            pre = operator.matmat(current) + bias[:, None]
+            fn, _ = ACTIVATIONS[activation]
+            current = fn(pre)
+        return current.T
+
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """Logits for a batch; samples stream through one at a time."""
+        """Logits for one sample (1-D input) or a batched pass (2-D)."""
         inputs = np.asarray(inputs, dtype=float)
         if inputs.ndim == 1:
             return self.forward_one(inputs)
-        return np.stack([self.forward_one(sample) for sample in inputs])
+        return self.forward_batch(inputs)
 
     def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
         return softmax(self.forward(inputs))

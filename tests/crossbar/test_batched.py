@@ -1,0 +1,272 @@
+"""Equivalence suite for the batched MVM pipeline (``matmat``/``rmatmat``).
+
+The batched path must be *semantically* the per-vector path: every
+column of ``matmat(X)`` is one peak-normalized analog read, zero
+columns never touch the hardware, tile partial sums accumulate
+digitally after the ADC, and conversion counters equal ``B`` looped
+calls.  With deterministic reads (``read_noise_sigma=0``) the two paths
+must agree bitwise on freshly programmed twins; with read noise they
+must agree statistically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CimAccelerator
+from repro.crossbar import CrossbarOperator
+from repro.devices import PcmDevice
+
+
+def make_twins(matrix, **kwargs):
+    """Two identically-seeded operators (identical programming draws)."""
+    seed = kwargs.pop("seed", 0)
+    return (
+        CrossbarOperator(matrix, seed=seed, **kwargs),
+        CrossbarOperator(matrix, seed=seed, **kwargs),
+    )
+
+
+def looped_matvec(operator, x_block):
+    return np.stack(
+        [operator.matvec(x_block[:, i]) for i in range(x_block.shape[1])], axis=1
+    )
+
+
+def looped_rmatvec(operator, z_block):
+    return np.stack(
+        [operator.rmatvec(z_block[:, i]) for i in range(z_block.shape[1])], axis=1
+    )
+
+
+DETERMINISTIC_DEVICES = [
+    PcmDevice.ideal(),
+    PcmDevice(read_noise_sigma=0.0),  # programming noise, deterministic reads
+]
+
+
+class TestExactEquivalence:
+    """Deterministic reads: batched output is bitwise the looped output."""
+
+    @pytest.mark.parametrize("shape", [(12, 20), (40, 56)])
+    @pytest.mark.parametrize("tile_shape", [(1024, 1024), (16, 16)])
+    @pytest.mark.parametrize("bits", [(8, 8), (None, None)])
+    @pytest.mark.parametrize("device", DETERMINISTIC_DEVICES)
+    def test_matmat_matches_looped_matvec(self, rng, shape, tile_shape, bits, device):
+        matrix = rng.standard_normal(shape)
+        dac_bits, adc_bits = bits
+        batched, looped = make_twins(
+            matrix,
+            device=device,
+            dac_bits=dac_bits,
+            adc_bits=adc_bits,
+            tile_shape=tile_shape,
+        )
+        x_block = rng.standard_normal((shape[1], 5))
+        np.testing.assert_allclose(
+            batched.matmat(x_block), looped_matvec(looped, x_block), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("tile_shape", [(1024, 1024), (16, 16)])
+    @pytest.mark.parametrize("device", DETERMINISTIC_DEVICES)
+    def test_rmatmat_matches_looped_rmatvec(self, rng, tile_shape, device):
+        matrix = rng.standard_normal((40, 56))
+        batched, looped = make_twins(matrix, device=device, tile_shape=tile_shape)
+        z_block = rng.standard_normal((40, 5))
+        np.testing.assert_allclose(
+            batched.rmatmat(z_block), looped_rmatvec(looped, z_block), atol=1e-12
+        )
+
+    def test_multi_tile_grid_is_actually_forced(self, rng):
+        matrix = rng.standard_normal((40, 56))
+        operator = CrossbarOperator(matrix, tile_shape=(16, 16), seed=0)
+        assert operator.n_tiles == 12  # stored as A.T: ceil(56/16) x ceil(40/16)
+
+    def test_batch_of_one_equals_matvec(self, rng, small_matrix):
+        batched, looped = make_twins(small_matrix, device=PcmDevice(read_noise_sigma=0.0))
+        x = rng.standard_normal(small_matrix.shape[1])
+        np.testing.assert_allclose(
+            batched.matmat(x[:, None])[:, 0], looped.matvec(x), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("device", DETERMINISTIC_DEVICES)
+    def test_equivalence_with_ir_drop(self, rng, device):
+        """With deterministic reads the IR-drop model is identical in
+        both paths (factors depend only on the programmed state)."""
+        matrix = rng.standard_normal((24, 24))
+        batched, looped = make_twins(matrix, device=device, wire_resistance=0.5)
+        x_block = rng.standard_normal((24, 4))
+        np.testing.assert_allclose(
+            batched.matmat(x_block), looped_matvec(looped, x_block), atol=1e-12
+        )
+
+    def test_equivalence_survives_drift(self, rng):
+        matrix = rng.standard_normal((24, 24))
+        batched, looped = make_twins(matrix, device=PcmDevice(read_noise_sigma=0.0))
+        batched.advance_time(1e5)
+        looped.advance_time(1e5)
+        x_block = rng.standard_normal((24, 4))
+        np.testing.assert_allclose(
+            batched.matmat(x_block), looped_matvec(looped, x_block), atol=1e-12
+        )
+
+    def test_zero_columns_return_zero_and_skip_hardware(self, rng, small_matrix):
+        operator = CrossbarOperator(small_matrix, seed=0)
+        m, n = small_matrix.shape
+        x_block = rng.standard_normal((n, 4))
+        x_block[:, 1] = 0.0
+        before = operator.stats
+        result = operator.matmat(x_block)
+        after = operator.stats
+        assert np.array_equal(result[:, 1], np.zeros(m))
+        assert (result[:, [0, 2, 3]] != 0).any()
+        # only the three live columns were converted
+        assert after["dac_conversions"] - before["dac_conversions"] == 3 * n
+        assert after["adc_conversions"] - before["adc_conversions"] == 3 * m
+        assert after["n_matvec"] - before["n_matvec"] == 4
+
+    def test_all_zero_batch_never_touches_converters(self, small_matrix):
+        operator = CrossbarOperator(small_matrix, seed=0)
+        result = operator.matmat(np.zeros((small_matrix.shape[1], 3)))
+        assert np.array_equal(result, np.zeros((small_matrix.shape[0], 3)))
+        assert operator.stats["dac_conversions"] == 0
+        assert operator.stats["adc_conversions"] == 0
+        assert operator.stats["n_matvec"] == 3
+
+
+class TestNoisyStatisticalEquivalence:
+    """With read noise the batched path is distribution-equivalent."""
+
+    def test_matmat_error_within_pcm_regime(self, rng):
+        matrix = rng.standard_normal((64, 96))
+        operator = CrossbarOperator(matrix, seed=1)
+        x_block = rng.standard_normal((96, 8))
+        exact = matrix @ x_block
+        result = operator.matmat(x_block)
+        errors = np.linalg.norm(result - exact, axis=0) / np.linalg.norm(exact, axis=0)
+        assert errors.max() < 0.15  # same regime as the per-vector path
+
+    def test_matmat_close_to_looped_under_noise(self, rng):
+        matrix = rng.standard_normal((64, 96))
+        batched, looped = make_twins(matrix, seed=1)
+        x_block = rng.standard_normal((96, 8))
+        reference = looped_matvec(looped, x_block)
+        result = batched.matmat(x_block)
+        diff = np.linalg.norm(result - reference, axis=0) / np.linalg.norm(
+            reference, axis=0
+        )
+        # two independent read-noise realizations of the same computation
+        assert diff.max() < 0.1
+
+    def test_noise_varies_across_batch_columns(self, rng):
+        """Each column is a separate read event with fresh fluctuations."""
+        matrix = rng.standard_normal((32, 32))
+        operator = CrossbarOperator(
+            matrix, device=PcmDevice(prog_noise_sigma=0.0), dac_bits=None, adc_bits=None, seed=2
+        )
+        x = rng.standard_normal(32)
+        result = operator.matmat(np.stack([x, x], axis=1))
+        assert not np.array_equal(result[:, 0], result[:, 1])
+
+
+class TestCounterEquivalence:
+    """``matmat`` on B vectors must count exactly like B looped calls."""
+
+    COUNTER_KEYS = ("n_matvec", "n_rmatvec", "dac_conversions", "adc_conversions")
+
+    @pytest.mark.parametrize("tile_shape", [(1024, 1024), (16, 16)])
+    def test_matmat_counters_equal_looped(self, rng, tile_shape):
+        matrix = rng.standard_normal((40, 56))
+        batched, looped = make_twins(matrix, tile_shape=tile_shape)
+        x_block = rng.standard_normal((56, 6))
+        x_block[:, 2] = 0.0  # a zero vector must be skipped identically
+        batched.matmat(x_block)
+        looped_matvec(looped, x_block)
+        for key in self.COUNTER_KEYS:
+            assert batched.stats[key] == looped.stats[key], key
+
+    @pytest.mark.parametrize("tile_shape", [(1024, 1024), (16, 16)])
+    def test_rmatmat_counters_equal_looped(self, rng, tile_shape):
+        matrix = rng.standard_normal((40, 56))
+        batched, looped = make_twins(matrix, tile_shape=tile_shape)
+        z_block = rng.standard_normal((40, 6))
+        z_block[:, 4] = 0.0
+        batched.rmatmat(z_block)
+        looped_rmatvec(looped, z_block)
+        for key in self.COUNTER_KEYS:
+            assert batched.stats[key] == looped.stats[key], key
+
+
+class TestValidation:
+    def test_matmat_rejects_bad_shapes(self, small_matrix):
+        operator = CrossbarOperator(small_matrix, seed=0)
+        m, n = small_matrix.shape
+        with pytest.raises(ValueError):
+            operator.matmat(np.zeros((m, 3)))  # wrong feature dimension
+        with pytest.raises(ValueError):
+            operator.matmat(np.zeros(n))  # 1-D input belongs to matvec
+        with pytest.raises(ValueError):
+            operator.matmat(np.zeros((n, 0)))  # empty batch
+        with pytest.raises(ValueError):
+            operator.rmatmat(np.zeros((n, 3)))
+        with pytest.raises(ValueError):
+            operator.rmatmat(np.zeros((m, 0)))
+
+
+class TestBatchedCalibration:
+    def test_calibrate_recovers_drift_with_batched_probes(self, rng):
+        matrix = rng.standard_normal((40, 40))
+        operator = CrossbarOperator(
+            matrix,
+            device=PcmDevice(prog_noise_sigma=0.0, read_noise_sigma=0.0),
+            dac_bits=None,
+            adc_bits=None,
+            seed=0,
+        )
+        operator.advance_time(1e6)
+        x = rng.standard_normal(40)
+        exact = matrix @ x
+        before = np.linalg.norm(operator.matvec(x) - exact) / np.linalg.norm(exact)
+        gain = operator.calibrate(n_probes=8, seed=1)
+        after = np.linalg.norm(operator.matvec(x) - exact) / np.linalg.norm(exact)
+        assert gain > 1.0
+        assert after < 0.5 * before
+
+    def test_calibrate_counts_one_matvec_per_probe(self, rng, small_matrix):
+        operator = CrossbarOperator(small_matrix, seed=0)
+        operator.calibrate(n_probes=8, seed=1)
+        assert operator.stats["n_matvec"] == 8
+
+
+class TestAcceleratorBatch:
+    def test_matmat_matches_region_operator(self, rng, small_matrix):
+        """The facade must delegate verbatim: with a deterministic
+        device, twin accelerators give bitwise-equal blocks whether
+        called through the facade or the region operator directly."""
+        facade = CimAccelerator(analog_device=PcmDevice.ideal(), seed=0)
+        facade.store_matrix("w", small_matrix)
+        direct = CimAccelerator(analog_device=PcmDevice.ideal(), seed=0)
+        direct.store_matrix("w", small_matrix)
+        x_block = rng.standard_normal((small_matrix.shape[1], 4))
+        result = facade.matmat("w", x_block)
+        expected = direct.matrix_region("w").matmat(x_block)
+        assert result.shape == (small_matrix.shape[0], 4)
+        np.testing.assert_allclose(result, expected, atol=1e-12)
+
+    def test_rmatmat_shape(self, rng, small_matrix):
+        accelerator = CimAccelerator(seed=0)
+        accelerator.store_matrix("w", small_matrix)
+        z_block = rng.standard_normal((small_matrix.shape[0], 3))
+        assert accelerator.rmatmat("w", z_block).shape == (small_matrix.shape[1], 3)
+
+    def test_batch_validation_messages(self, small_matrix):
+        accelerator = CimAccelerator(seed=0)
+        accelerator.store_matrix("w", small_matrix)
+        n = small_matrix.shape[1]
+        with pytest.raises(ValueError, match="empty"):
+            accelerator.matmat("w", np.zeros((n, 0)))
+        with pytest.raises(ValueError, match="2-D"):
+            accelerator.matmat("w", np.zeros(n))
+        with pytest.raises(ValueError, match="rows"):
+            accelerator.matmat("w", np.zeros((n + 1, 2)))
+        with pytest.raises(KeyError):
+            accelerator.matmat("missing", np.zeros((n, 1)))

@@ -97,6 +97,37 @@ class TestCimAssociativeMemory:
                 labels.append(label)
         assert cim.accuracy(np.stack(queries), labels) == 1.0
 
+    def test_batched_search_matches_sequential(self, trained, rng):
+        """One batched block read classifies like per-query searches."""
+        memory, protos = trained
+        device = PcmDevice(read_noise_sigma=0.0)
+        batched = CimAssociativeMemory(memory, device=device, seed=7)
+        sequential = CimAssociativeMemory(memory, device=device, seed=7)
+        queries = []
+        for base in protos.values():
+            query = base.copy()
+            flip = rng.choice(1024, 100, replace=False)
+            query[flip] ^= 1
+            queries.append(query)
+        queries = np.stack(queries)
+        currents = batched.match_currents_batch(queries)
+        reference = np.stack([sequential.match_currents(q) for q in queries])
+        np.testing.assert_allclose(currents, reference, atol=1e-12)
+        assert batched.classify_batch(queries) == [
+            sequential.classify(q) for q in queries
+        ]
+        # both the currents call and the classify call counted one
+        # query event per vector, batched or not
+        assert batched.n_queries == sequential.n_queries == 2 * len(queries)
+
+    def test_batched_search_validation(self, trained):
+        memory, _ = trained
+        cim = CimAssociativeMemory(memory, seed=8)
+        with pytest.raises(ValueError):
+            cim.match_currents_batch(np.zeros((0, cim.d), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            cim.match_currents_batch(np.zeros((2, 100), dtype=np.uint8))
+
     def test_query_shape_validation(self, trained):
         memory, _ = trained
         cim = CimAssociativeMemory(memory, seed=4)

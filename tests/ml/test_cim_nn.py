@@ -31,6 +31,41 @@ class TestIdealMapping:
         assert cim.forward(x_test[0]).shape == (4,)
 
 
+class TestForwardBatch:
+    def test_batched_equals_looped_with_deterministic_reads(self, setup):
+        net, x_test, _ = setup
+        device = PcmDevice(read_noise_sigma=0.0)
+        batched = CimNetwork(net, device=device, seed=0)
+        looped = CimNetwork(net, device=device, seed=0)
+        reference = np.stack([looped.forward_one(s) for s in x_test[:6]])
+        np.testing.assert_allclose(
+            batched.forward_batch(x_test[:6]), reference, atol=1e-12
+        )
+
+    def test_batched_counters_equal_looped(self, setup):
+        net, x_test, _ = setup
+        batched = CimNetwork(net, seed=1)
+        looped = CimNetwork(net, seed=1)
+        batched.forward_batch(x_test[:8])
+        for sample in x_test[:8]:
+            looped.forward_one(sample)
+        assert batched.stats == looped.stats
+
+    def test_rejects_empty_batch(self, setup):
+        net, _, _ = setup
+        cim = CimNetwork(net, seed=2)
+        with pytest.raises(ValueError, match="at least one sample"):
+            cim.forward_batch(np.zeros((0, 16)))
+
+    def test_rejects_mismatched_feature_dim(self, setup):
+        net, _, _ = setup
+        cim = CimNetwork(net, seed=3)
+        with pytest.raises(ValueError, match="features"):
+            cim.forward_batch(np.zeros((4, 17)))
+        with pytest.raises(ValueError, match="2-D"):
+            cim.forward_batch(np.zeros((2, 3, 16)))
+
+
 class TestRealisticMapping:
     def test_accuracy_comparable_to_software(self, setup):
         """Sec. IV.A: analog inference with DAC/ADC quantization keeps

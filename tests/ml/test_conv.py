@@ -96,6 +96,24 @@ class TestCimConvNet:
         analog = cim.accuracy(x_test, y_test)
         assert analog >= digital - 0.15
 
+    def test_forward_batch_matches_looped_forward_one(self, trained):
+        network, x_test, _ = trained
+        cim = CimConvNet(
+            network, device=PcmDevice.ideal(), dac_bits=None, adc_bits=None, seed=3
+        )
+        reference = np.stack([cim.forward_one(image) for image in x_test[:3]])
+        np.testing.assert_allclose(
+            cim.forward_batch(x_test[:3]), reference, atol=1e-8
+        )
+
+    def test_forward_batch_rejects_empty_and_non_batched(self, trained):
+        network, _, _ = trained
+        cim = CimConvNet(network, seed=4)
+        with pytest.raises(ValueError, match="at least one image"):
+            cim.forward_batch(np.zeros((0, 8, 8)))
+        with pytest.raises(ValueError, match="n, h, w"):
+            cim.forward_batch(np.zeros((8, 8)))
+
     def test_stats_count_patch_mvms(self, trained):
         network, x_test, _ = trained
         cim = CimConvNet(network, seed=2)
