@@ -1,0 +1,129 @@
+"""Batch-aware energy/latency accounting benchmark.
+
+Guards the readout-schedule layer end-to-end and emits
+``benchmarks/results/BENCH_batch_energy.json`` for CI archival:
+
+* **anchor** — the serial schedule at B = 1 must reproduce the paper's
+  ~222 nJ/MVM figure exactly (Sec. III.B.3);
+* **monotonicity / equivalence** — batch energy grows monotonically in
+  B and is identical under both schedules (Walden conversion energy is
+  sample-rate independent), while latencies diverge: linear for serial
+  peripheral reuse, flat for parallel converters;
+* **counter fidelity** — pricing a real batched ``matmat`` from the
+  operator's DAC/ADC conversion counters must charge exactly the
+  conversions the converters counted (zero columns skipped), i.e. the
+  energy layer bills conversions performed, not assumed MVM cycles.
+
+Run:  PYTHONPATH=src python -m pytest -q benchmarks/bench_batch_energy.py
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarOperator
+from repro.energy import CrossbarCostModel, FpgaMvmDesign
+
+BATCHES = (1, 8, 64)
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_batch_energy.json"
+
+
+def test_batch_energy_accounting(write_result):
+    model = CrossbarCostModel()
+    fpga = FpgaMvmDesign()
+
+    schedules = {}
+    for schedule in ("serial", "parallel"):
+        rows = []
+        for batch in BATCHES:
+            report = model.batch_readout(batch, schedule)
+            rows.append(
+                {
+                    "batch": batch,
+                    "latency_s": report.latency_s,
+                    "energy_j": report.energy_j,
+                    "adc_banks": report.adc_banks,
+                    "array_copies": report.array_copies,
+                    "adc_area_m2": report.adc_area_m2,
+                    "total_area_m2": report.total_area_m2,
+                    "peak_power_w": report.peak_power_w,
+                }
+            )
+        schedules[schedule] = rows
+
+    # a real batched run, priced from its actual conversion counters
+    rng = np.random.default_rng(0)
+    matrix = rng.standard_normal((96, 128))
+    operator = CrossbarOperator(matrix, seed=1)
+    x_block = rng.standard_normal((128, 32))
+    x_block[:, 5] = 0.0  # one skipped column: converters never fire
+    operator.matmat(x_block)
+    counted = model_for(operator).energy_from_stats(operator.stats)
+
+    payload = {
+        "anchor_serial_b1_nj": model.matmat_energy_j(1, "serial") * 1e9,
+        "mvm_energy_nj": model.mvm_energy_j * 1e9,
+        "schedules": schedules,
+        "fpga_batch64_energy_j": fpga.matmat_energy_j(64),
+        "counter_driven": {
+            **counted,
+            "dac_conversions": operator.stats["dac_conversions"],
+            "adc_conversions": operator.stats["adc_conversions"],
+        },
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    serial = schedules["serial"]
+    parallel = schedules["parallel"]
+
+    # anchor: serial B=1 is the published 222 nJ MVM
+    assert payload["anchor_serial_b1_nj"] == pytest.approx(222.0, rel=0.01)
+    assert payload["anchor_serial_b1_nj"] == pytest.approx(
+        payload["mvm_energy_nj"]
+    )
+
+    # monotonicity and schedule equivalence of the energy
+    serial_energy = [row["energy_j"] for row in serial]
+    assert serial_energy == sorted(serial_energy)
+    for s_row, p_row in zip(serial, parallel):
+        assert s_row["energy_j"] == pytest.approx(p_row["energy_j"])
+
+    # latency: serial linear in B, parallel flat at one cycle
+    assert serial[-1]["latency_s"] == pytest.approx(64 * model.cycle_time_s)
+    assert parallel[-1]["latency_s"] == pytest.approx(model.cycle_time_s)
+    assert parallel[-1]["adc_banks"] == 64
+
+    # counter fidelity: exactly the live columns were billed, for the
+    # converter terms and the device reads alike
+    live = 31
+    assert payload["counter_driven"]["dac_conversions"] == live * 128
+    assert payload["counter_driven"]["adc_conversions"] == live * 96
+    expected_adc = live * 96 * model.adc.energy_per_conversion_j
+    assert counted["adc_energy_j"] == pytest.approx(expected_adc)
+    assert counted["n_live_reads"] == live
+    assert counted["n_reads"] == 32
+
+    lines = [
+        "Batch-aware energy accounting - schedule + counter benchmark",
+        f"  serial B=1 anchor     : {payload['anchor_serial_b1_nj']:8.1f} nJ "
+        "(paper ~222 nJ)",
+        f"  serial B=64           : {serial[-1]['energy_j'] * 1e6:8.2f} uJ in "
+        f"{serial[-1]['latency_s'] * 1e6:.0f} us",
+        f"  parallel B=64         : {parallel[-1]['energy_j'] * 1e6:8.2f} uJ in "
+        f"{parallel[-1]['latency_s'] * 1e6:.0f} us "
+        f"({parallel[-1]['adc_banks']} ADC banks)",
+        f"  FPGA B=64             : {payload['fpga_batch64_energy_j'] * 1e6:8.0f} uJ",
+        f"  counter-driven matmat : {counted['total_energy_j'] * 1e9:8.1f} nJ for "
+        f"{payload['counter_driven']['adc_conversions']} ADC conversions",
+        f"  [json written to {RESULTS_PATH}]",
+    ]
+    write_result("batch_energy", "\n".join(lines))
+
+
+def model_for(operator: CrossbarOperator) -> CrossbarCostModel:
+    """Cost model sized to the operator's stored (transposed) array."""
+    m, n = operator.shape
+    return CrossbarCostModel(rows=n, cols=m, devices_per_cell=2)

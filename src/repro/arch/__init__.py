@@ -16,7 +16,12 @@ from repro.arch.params import (
     ConventionalParams,
     CoreParams,
 )
-from repro.arch.sweep import MissRateSweep, miss_rate_sweep, offload_sweep
+from repro.arch.sweep import (
+    MissRateSweep,
+    batch_offload_rows,
+    miss_rate_sweep,
+    offload_sweep,
+)
 
 __all__ = [
     "CimArchParams",
@@ -26,6 +31,7 @@ __all__ = [
     "ConventionalParams",
     "CoreParams",
     "MissRateSweep",
+    "batch_offload_rows",
     "miss_rate_sweep",
     "offload_sweep",
 ]

@@ -9,14 +9,15 @@ plane at ~1 exactly as in the published axes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.arch.cim import CimArchitectureModel
 from repro.arch.conventional import ConventionalArchitectureModel
+from repro.arch.params import CimArchParams
 
-__all__ = ["MissRateSweep", "miss_rate_sweep", "offload_sweep"]
+__all__ = ["MissRateSweep", "batch_offload_rows", "miss_rate_sweep", "offload_sweep"]
 
 
 @dataclass
@@ -172,6 +173,55 @@ def offload_sweep(
                 "cim_delay_ns": cim_d,
                 "conventional_energy_pj": conv_e,
                 "cim_energy_pj": cim_e,
+            }
+        )
+    return rows
+
+
+def batch_offload_rows(
+    batches: tuple[int, ...] = (1, 8, 64),
+    x_fraction: float = 0.6,
+    m1: float = 0.8,
+    m2: float = 0.8,
+    conventional: ConventionalArchitectureModel | None = None,
+    cim_params: CimArchParams | None = None,
+) -> list[dict[str, float]]:
+    """System speedup/energy-gain when CIM reads retire in batches of B.
+
+    Under serial peripheral reuse the CIM core's per-instruction time is
+    batch-invariant (the same converter bank digitizes every vector), so
+    the serial columns repeat the B = 1 figures.  Parallel converters
+    multiply the effective issue width by B, which shortens the
+    accelerated part of the delay *and* the static-leakage energy
+    charged over it — the architectural reason replicated converter
+    banks pay off on miss-dominated workloads.
+    """
+    base = cim_params if cim_params is not None else CimArchParams()
+    conventional = conventional or ConventionalArchitectureModel()
+    serial_model = CimArchitectureModel(base)
+    conv_d = float(conventional.delay_per_instruction_ns(x_fraction, m1, m2))
+    conv_e = float(conventional.energy_per_instruction_pj(x_fraction, m1, m2))
+    serial_d = float(serial_model.delay_per_instruction_ns(x_fraction, m1, m2))
+    serial_e = float(serial_model.energy_per_instruction_pj(x_fraction, m1, m2))
+    rows = []
+    for batch in batches:
+        if batch < 1:
+            raise ValueError("batch sizes must be >= 1")
+        widened = replace(
+            base, cim=replace(base.cim, parallel_width=base.cim.parallel_width * batch)
+        )
+        parallel_model = CimArchitectureModel(widened)
+        par_d = float(parallel_model.delay_per_instruction_ns(x_fraction, m1, m2))
+        par_e = float(parallel_model.energy_per_instruction_pj(x_fraction, m1, m2))
+        rows.append(
+            {
+                "batch": float(batch),
+                "serial_speedup": conv_d / serial_d,
+                "parallel_speedup": conv_d / par_d,
+                "serial_energy_gain": conv_e / serial_e,
+                "parallel_energy_gain": conv_e / par_e,
+                "serial_cim_delay_ns": serial_d,
+                "parallel_cim_delay_ns": par_d,
             }
         )
     return rows

@@ -39,6 +39,13 @@ class CrossbarArray:
     wire_resistance:
         Per-segment interconnect resistance in ohms for the first-order
         IR-drop model (0 disables IR drop).
+    noise_chunk:
+        Column-chunked noise mode for batched reads: when set, read
+        noise for a ``(lines, B)`` voltage block is drawn ``noise_chunk``
+        batch columns at a time, so very large tiles batch without
+        materializing full ``(lines, B)`` noise-power and normal-draw
+        blocks alongside the output.  ``None`` (default) keeps the
+        single full-block draw (and its RNG draw shape).
     seed:
         RNG seed or generator for all stochastic behaviour of this array.
     """
@@ -49,6 +56,7 @@ class CrossbarArray:
         device: PcmDevice | None = None,
         programming_iterations: int = 5,
         wire_resistance: float = 0.0,
+        noise_chunk: int | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         target_conductance = np.asarray(target_conductance, dtype=float)
@@ -58,9 +66,12 @@ class CrossbarArray:
             raise ValueError("conductances must be non-negative")
         if wire_resistance < 0:
             raise ValueError("wire_resistance must be non-negative")
+        if noise_chunk is not None and noise_chunk < 1:
+            raise ValueError("noise_chunk must be >= 1 or None")
         self.device = device if device is not None else PcmDevice()
         self._rng = as_rng(seed)
         self.wire_resistance = wire_resistance
+        self.noise_chunk = noise_chunk
         self.programming_report: ProgrammingReport = program_and_verify(
             self.device,
             target_conductance,
@@ -150,11 +161,27 @@ class CrossbarArray:
             mean = g_now @ voltages
         if sigma == 0.0:
             return mean
-        if axis == 0:
-            power = (g_now**2).T @ voltages**2
-        else:
-            power = g_now**2 @ voltages**2
-        return mean + sigma * np.sqrt(power) * self._rng.standard_normal(mean.shape)
+        g_sq = g_now**2
+        chunk = self.noise_chunk
+        if chunk is None or voltages.shape[1] <= chunk:
+            if axis == 0:
+                power = g_sq.T @ voltages**2
+            else:
+                power = g_sq @ voltages**2
+            return mean + sigma * np.sqrt(power) * self._rng.standard_normal(
+                mean.shape
+            )
+        # Column-chunked mode: identical distribution (each column's
+        # noise power and draw are unchanged), but the (lines, B)
+        # noise-power and normal blocks never exist all at once — only
+        # a (lines, chunk) slice is live besides the output itself.
+        for start in range(0, voltages.shape[1], chunk):
+            v_sq = voltages[:, start : start + chunk] ** 2
+            power = g_sq.T @ v_sq if axis == 0 else g_sq @ v_sq
+            mean[:, start : start + chunk] += (
+                sigma * np.sqrt(power) * self._rng.standard_normal(power.shape)
+            )
+        return mean
 
     def mvm(self, row_voltages: np.ndarray) -> np.ndarray:
         """Drive rows with ``row_voltages``; return column currents.

@@ -70,6 +70,7 @@ class _TilePair:
         device: PcmDevice,
         programming_iterations: int,
         wire_resistance: float,
+        noise_chunk: int | None,
         rng: np.random.Generator,
     ) -> None:
         self.positive = CrossbarArray(
@@ -77,6 +78,7 @@ class _TilePair:
             device=device,
             programming_iterations=programming_iterations,
             wire_resistance=wire_resistance,
+            noise_chunk=noise_chunk,
             seed=rng,
         )
         self.negative = CrossbarArray(
@@ -84,6 +86,7 @@ class _TilePair:
             device=device,
             programming_iterations=programming_iterations,
             wire_resistance=wire_resistance,
+            noise_chunk=noise_chunk,
             seed=rng,
         )
 
@@ -119,6 +122,11 @@ class CrossbarOperator:
         Program-and-verify rounds for writing the conductances.
     wire_resistance:
         Per-segment wire resistance for the IR-drop model (0 = off).
+    noise_chunk:
+        Optional column-chunked noise mode for batched reads (see
+        :class:`~repro.crossbar.array.CrossbarArray`): bounds the
+        transient noise blocks of a ``matmat`` to ``noise_chunk`` batch
+        columns per tile, for very large tiles at large B.
     utilization:
         Fraction of the conductance window given to the largest
         coefficient (headroom for drift).
@@ -145,6 +153,7 @@ class CrossbarOperator:
         tile_shape: tuple[int, int] = (1024, 1024),
         programming_iterations: int = 5,
         wire_resistance: float = 0.0,
+        noise_chunk: int | None = None,
         utilization: float = 1.0,
         full_scale_mode: str = "statistical",
         full_scale_sigmas: float = 4.0,
@@ -179,6 +188,7 @@ class CrossbarOperator:
                     device=self.device,
                     programming_iterations=programming_iterations,
                     wire_resistance=wire_resistance,
+                    noise_chunk=noise_chunk,
                     rng=rng,
                 )
 
@@ -197,6 +207,10 @@ class CrossbarOperator:
         self.v_read = v_read
         self.n_matvec = 0
         self.n_rmatvec = 0
+        # Live counts exclude all-zero inputs, which never touch the
+        # hardware: the energy models bill device reads from these.
+        self.n_live_matvec = 0
+        self.n_live_rmatvec = 0
         self._gain = 1.0
 
     @property
@@ -289,6 +303,7 @@ class CrossbarOperator:
         normalized, peak = self._normalize(x)
         if peak == 0.0:
             return np.zeros(m)
+        self.n_live_matvec += 1
         voltages = self.dac.to_voltages(normalized)
         result = np.zeros(m)
         for ri, (r0, r1) in enumerate(self._row_spans):
@@ -308,6 +323,7 @@ class CrossbarOperator:
         normalized, peak = self._normalize(z)
         if peak == 0.0:
             return np.zeros(n)
+        self.n_live_rmatvec += 1
         voltages = self.dac.to_voltages(normalized)
         result = np.zeros(n)
         for ri, (r0, r1) in enumerate(self._row_spans):
@@ -341,7 +357,9 @@ class CrossbarOperator:
                 for ci, (c0, c1) in enumerate(self._col_spans):
                     yield (c0, c1), self._tiles[(ri, ci)].column_currents(v_block)
 
-        return self._batched_product(x_block, m, self.adc_columns, tile_currents)
+        result, live = self._batched_product(x_block, m, self.adc_columns, tile_currents)
+        self.n_live_matvec += live
+        return result
 
     def rmatmat(self, z_block: np.ndarray) -> np.ndarray:
         """Analog evaluation of ``A.T @ Z`` (batched transpose reads).
@@ -364,7 +382,9 @@ class CrossbarOperator:
                         voltages[c0:c1]
                     )
 
-        return self._batched_product(z_block, n, self.adc_rows, tile_currents)
+        result, live = self._batched_product(z_block, n, self.adc_rows, tile_currents)
+        self.n_live_rmatvec += live
+        return result
 
     def _batched_product(self, block, out_dim, adc, tile_currents):
         """Shared batched read: normalize columns, convert, accumulate.
@@ -373,19 +393,22 @@ class CrossbarOperator:
         pairs — the output span and the analog currents of one tile
         read — in the same tile order the per-vector path uses, so the
         RNG consumption and conversion counts stay loop-equivalent.
-        All-zero input columns never reach the converters.
+        All-zero input columns never reach the converters.  Returns
+        ``(product, live_count)`` — the single definition of which
+        columns touched the hardware, so the live-read counters the
+        energy models bill from cannot drift from the skip logic.
         """
         normalized, peaks = self._normalize_block(block)
         out = np.zeros((out_dim, block.shape[1]))
         live = np.flatnonzero(peaks)
         if live.size == 0:
-            return out
+            return out, 0
         voltages = self.dac.to_voltages(normalized[:, live])
         result = np.zeros((out_dim, live.size))
         for (o0, o1), currents in tile_currents(voltages):
             result[o0:o1] += adc.quantize(currents)
         out[:, live] = result * (self._gain * peaks[live] / (self._scale * self.v_read))
-        return out
+        return out, int(live.size)
 
     @property
     def stats(self) -> dict[str, int]:
@@ -393,6 +416,8 @@ class CrossbarOperator:
         return {
             "n_matvec": self.n_matvec,
             "n_rmatvec": self.n_rmatvec,
+            "n_live_matvec": self.n_live_matvec,
+            "n_live_rmatvec": self.n_live_rmatvec,
             "dac_conversions": self.dac.n_conversions,
             "adc_conversions": self.adc_columns.n_conversions
             + self.adc_rows.n_conversions,

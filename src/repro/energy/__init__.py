@@ -15,19 +15,26 @@ Each model re-derives one of the paper's quantitative comparisons:
 """
 
 from repro.energy.adc import AdcModel
-from repro.energy.crossbar_cost import CrossbarCostModel
+from repro.energy.crossbar_cost import (
+    READOUT_SCHEDULES,
+    BatchReadout,
+    CrossbarCostModel,
+)
 from repro.energy.fpga import FpgaMvmDesign
 from repro.energy.hd_asic import HdModuleCosts, HdProcessorModel
-from repro.energy.iot import CimInferenceCost, iot_energy_rows
+from repro.energy.iot import CimInferenceCost, iot_batch_rows, iot_energy_rows
 from repro.energy.mcu import CortexM0Model
 
 __all__ = [
     "AdcModel",
+    "BatchReadout",
+    "READOUT_SCHEDULES",
     "CimInferenceCost",
     "CortexM0Model",
     "CrossbarCostModel",
     "FpgaMvmDesign",
     "HdModuleCosts",
     "HdProcessorModel",
+    "iot_batch_rows",
     "iot_energy_rows",
 ]

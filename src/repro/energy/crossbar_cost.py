@@ -6,16 +6,87 @@ digitized by 8 ADCs at 125 MSps so all 1024 columns are read within a
 1 us cycle.  Published anchors: device power ~0.21 W, ADC power
 ~12.3 mW, total ~222 mW (~120x below the FPGA's 26.6 W), 222 nJ per
 MVM (~80x below the FPGA's 17.7 uJ), area ~0.332 mm^2.
+
+Beyond the single-MVM anchors, the model prices a batch-B ``matmat``
+under two readout schedules:
+
+* ``"serial"`` — peripheral reuse: one ADC bank serves every vector of
+  the batch back-to-back, so latency grows linearly in B while area
+  stays at the single-MVM point.
+* ``"parallel"`` — one converter bank per batch vector: the whole batch
+  is digitized within a single cycle at the cost of B times the ADC
+  area and B times the peak power.
+
+Conversion energy follows the Walden figure of merit (energy per
+conversion independent of sample rate), so the two schedules spend the
+*same* energy on a batch; they trade latency against converter area and
+peak power.  :meth:`CrossbarCostModel.energy_from_stats` additionally
+prices a real :class:`~repro.crossbar.operator.CrossbarOperator` run
+from its DAC/ADC conversion counters, charging for conversions actually
+performed instead of assuming full standalone MVM cycles.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
-from repro._util import check_positive
+from repro._util import check_in, check_positive
 from repro.energy.adc import AdcModel
 
-__all__ = ["CrossbarCostModel"]
+__all__ = ["BatchReadout", "CrossbarCostModel", "READOUT_SCHEDULES"]
+
+READOUT_SCHEDULES = ("serial", "parallel")
+
+
+def check_batch_schedule(batch: int, schedule: str) -> None:
+    """Shared validation for every batch-pricing API in this package."""
+    if batch != int(batch) or batch < 1:
+        raise ValueError("batch must be an integer >= 1")
+    check_in("schedule", schedule, READOUT_SCHEDULES)
+
+
+@dataclass(frozen=True)
+class BatchReadout:
+    """Cost of one batch-B matmat under a concrete readout schedule.
+
+    A crossbar applies one input vector per read event, so digitizing B
+    distinct vectors within a single cycle requires B array copies as
+    well as B converter banks — the parallel schedule's area cost
+    covers both (``total_area_m2``), not just the ADCs.
+    """
+
+    batch: int
+    schedule: str
+    latency_s: float
+    energy_j: float
+    device_energy_j: float
+    adc_energy_j: float
+    adc_banks: int
+    """Converter banks in flight (1 for serial reuse, B for parallel)."""
+    array_copies: int
+    """Crossbar arrays needed for the concurrency (equal to the banks)."""
+    adc_area_m2: float
+    array_area_m2: float
+    peak_power_w: float
+
+    @property
+    def total_area_m2(self) -> float:
+        """Silicon cost of the schedule: replicated arrays plus ADCs."""
+        return self.array_area_m2 + self.adc_area_m2
+
+    @property
+    def energy_per_mvm_j(self) -> float:
+        return self.energy_j / self.batch
+
+    @property
+    def latency_per_mvm_s(self) -> float:
+        """Amortized per-vector latency (the throughput inverse)."""
+        return self.latency_s / self.batch
+
+    @property
+    def throughput_mvm_per_s(self) -> float:
+        return self.batch / self.latency_s
 
 
 @dataclass(frozen=True)
@@ -33,10 +104,20 @@ class CrossbarCostModel:
     cell_area_f2: float = 25.0
     """Cell footprint in units of F^2 (25F^2 1T1R PCM)."""
     feature_size_m: float = 90e-9
+    devices_per_cell: int = 1
+    """Devices conducting per coefficient (2 for differential pairs)."""
+    dac_energy_fraction: float = 0.25
+    """Energy of one DAC drive event as a fraction of one ADC
+    conversion (same ratio the IoT study uses); only enters the
+    counter-driven accounting, not the published single-MVM anchors."""
 
     def __post_init__(self) -> None:
         if self.rows < 1 or self.cols < 1 or self.n_adcs < 1:
             raise ValueError("rows, cols and n_adcs must be >= 1")
+        if self.devices_per_cell < 1:
+            raise ValueError("devices_per_cell must be >= 1")
+        if self.dac_energy_fraction < 0:
+            raise ValueError("dac_energy_fraction must be non-negative")
         check_positive("avg_read_current_a", self.avg_read_current_a)
         check_positive("avg_read_voltage_v", self.avg_read_voltage_v)
         check_positive("cycle_time_s", self.cycle_time_s)
@@ -49,6 +130,7 @@ class CrossbarCostModel:
         return (
             self.rows
             * self.cols
+            * self.devices_per_cell
             * self.avg_read_current_a
             * self.avg_read_voltage_v
         )
@@ -76,6 +158,106 @@ class CrossbarCostModel:
         if n_mvm < 0:
             raise ValueError("n_mvm must be non-negative")
         return n_mvm * self.mvm_energy_j
+
+    # -- batched readout schedules ---------------------------------------------
+    @property
+    def device_read_energy_j(self) -> float:
+        """Device energy of one full array read (one MVM's worth)."""
+        return self.device_power_w * self.cycle_time_s
+
+    def converter_banks(self, batch: int, schedule: str = "serial") -> int:
+        """ADC banks in flight for a batch-B matmat on this schedule."""
+        check_batch_schedule(batch, schedule)
+        return 1 if schedule == "serial" else int(batch)
+
+    def matmat_latency_s(self, batch: int, schedule: str = "serial") -> float:
+        """Wall time of a batch-B matmat.
+
+        Serial peripheral reuse digitizes the batch back-to-back (B
+        cycles); parallel converters digitize every vector concurrently
+        (one cycle, B converter banks).
+        """
+        check_batch_schedule(batch, schedule)
+        if schedule == "serial":
+            return batch * self.cycle_time_s
+        return self.cycle_time_s
+
+    def matmat_energy_j(self, batch: int, schedule: str = "serial") -> float:
+        """Energy of a batch-B matmat.
+
+        Every vector needs a full device read plus ``cols`` conversions
+        regardless of schedule, and the Walden conversion energy is
+        sample-rate independent, so both schedules charge the same
+        energy; the serial schedule at B = 1 reproduces
+        :attr:`mvm_energy_j` (the paper's ~222 nJ anchor).
+        """
+        check_batch_schedule(batch, schedule)
+        return batch * self.mvm_energy_j
+
+    def batch_readout(self, batch: int, schedule: str = "serial") -> BatchReadout:
+        """Full latency/energy/area report of one batch-B matmat."""
+        check_batch_schedule(batch, schedule)
+        banks = self.converter_banks(batch, schedule)
+        latency = self.matmat_latency_s(batch, schedule)
+        device = batch * self.device_read_energy_j
+        adc = batch * self.adc_power_w * self.cycle_time_s
+        energy = device + adc
+        return BatchReadout(
+            batch=int(batch),
+            schedule=schedule,
+            latency_s=latency,
+            energy_j=energy,
+            device_energy_j=device,
+            adc_energy_j=adc,
+            adc_banks=banks,
+            array_copies=banks,
+            adc_area_m2=banks * self.adc_area_m2,
+            array_area_m2=banks * self.array_area_m2,
+            peak_power_w=energy / latency,
+        )
+
+    # -- counter-driven accounting ---------------------------------------------
+    def conversion_energy_j(self, dac_conversions: int, adc_conversions: int) -> float:
+        """Converter energy of a run, charged per conversion performed."""
+        if dac_conversions < 0 or adc_conversions < 0:
+            raise ValueError("conversion counts must be non-negative")
+        per_adc = self.adc.energy_per_conversion_j
+        return (adc_conversions + self.dac_energy_fraction * dac_conversions) * per_adc
+
+    def energy_from_stats(self, stats: Mapping[str, int]) -> dict[str, float]:
+        """Price a real operator run from its conversion counters.
+
+        ``stats`` is the :attr:`CrossbarOperator.stats` dictionary: each
+        *live* ``matvec``/``rmatvec`` (the operator skips all-zero
+        inputs, which dissipate nothing) bills one full device read of
+        this model's array, while the DAC/ADC terms charge exactly the
+        conversions the converters counted — zero-skipped columns and
+        the true matrix geometry are billed as executed, not as assumed
+        standalone 1024x1024 MVM cycles.  Stats dictionaries without
+        the live counters fall back to the logical read counts.
+        """
+        for key in ("n_matvec", "n_rmatvec", "dac_conversions", "adc_conversions"):
+            if key not in stats:
+                raise KeyError(f"stats must provide {key!r}")
+        for key, value in stats.items():
+            if value < 0:
+                raise ValueError(f"stats[{key!r}] must be non-negative")
+        reads = stats["n_matvec"] + stats["n_rmatvec"]
+        live = stats.get("n_live_matvec", stats["n_matvec"]) + stats.get(
+            "n_live_rmatvec", stats["n_rmatvec"]
+        )
+        device = live * self.device_read_energy_j
+        per_adc = self.adc.energy_per_conversion_j
+        adc = stats["adc_conversions"] * per_adc
+        dac = stats["dac_conversions"] * self.dac_energy_fraction * per_adc
+        return {
+            "n_reads": float(reads),
+            "n_live_reads": float(live),
+            "device_energy_j": device,
+            "adc_energy_j": adc,
+            "dac_energy_j": dac,
+            "total_energy_j": device + adc + dac,
+        }
 
     # -- area --------------------------------------------------------------------
     @property

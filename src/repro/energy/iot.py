@@ -9,7 +9,12 @@ x-axis is "Fully-Connected Network Dimensions (N^2)") on:
 
 The CIM energy has two parts: the device read energy (every cell
 conducts for one read pulse) and the converter energy (one DAC event
-per row, one ADC conversion per column).
+per row, one ADC conversion per column).  Batched inference adds a
+readout-schedule choice (:data:`~repro.energy.READOUT_SCHEDULES`):
+serial peripheral reuse streams the batch through one converter bank
+(latency linear in B), parallel converters replicate the bank per
+vector (single-pulse latency); conversion energy is identical either
+way, so the IoT trade is latency versus converter count.
 """
 
 from __future__ import annotations
@@ -18,9 +23,10 @@ from dataclasses import dataclass, field
 
 from repro._util import check_positive
 from repro.energy.adc import AdcModel
+from repro.energy.crossbar_cost import check_batch_schedule
 from repro.energy.mcu import CortexM0Model
 
-__all__ = ["CimInferenceCost", "iot_energy_rows"]
+__all__ = ["CimInferenceCost", "iot_energy_rows", "iot_batch_rows"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +72,30 @@ class CimInferenceCost:
             total += self.fc_layer_energy_j(n_in, n_out)
         return total
 
+    # -- batched inference -------------------------------------------------------
+    def fc_layer_batch_energy_j(
+        self, n_inputs: int, n_outputs: int, batch: int, schedule: str = "serial"
+    ) -> float:
+        """Energy of batch-B inference through one dense layer.
+
+        Every sample reads the full array and converts every row/column
+        once, and conversion energy is sample-rate independent, so the
+        energy is linear in B under either schedule.
+        """
+        check_batch_schedule(batch, schedule)
+        return batch * self.fc_layer_energy_j(n_inputs, n_outputs)
+
+    def fc_layer_batch_latency_s(self, batch: int, schedule: str = "serial") -> float:
+        """Wall time of batch-B inference through one crossbar layer.
+
+        Serial reuse issues one read pulse per sample; parallel
+        converters digitize the whole batch within a single pulse.
+        """
+        check_batch_schedule(batch, schedule)
+        if schedule == "serial":
+            return batch * self.read_pulse_s
+        return self.read_pulse_s
+
 
 def iot_energy_rows(
     dimensions: list[int] | tuple[int, ...] = (32, 64, 128, 256, 512),
@@ -89,6 +119,44 @@ def iot_energy_rows(
                 "cim_4bit_adc_j": cim.fc_layer_energy_j(n, n),
                 "sub_vth_m0_j": sub_threshold.fc_layer_energy_j(n, n),
                 "vnom_m0_j": nominal.fc_layer_energy_j(n, n),
+            }
+        )
+    return rows
+
+
+def iot_batch_rows(
+    dimension: int = 128,
+    batches: tuple[int, ...] = (1, 8, 64),
+    cim: CimInferenceCost | None = None,
+    sub_threshold: CortexM0Model | None = None,
+) -> list[dict[str, float]]:
+    """Batched always-ON inference: CIM readout schedules vs the MCU.
+
+    One row per batch size with the CIM latency under both schedules,
+    the (schedule-invariant) CIM batch energy, the sub-Vth M0 batch
+    energy, and the per-sample energy gain.  The MCU has no batch
+    amortization — every sample re-runs the full MAC loop — so the gain
+    column is flat while the parallel-converter latency column shows
+    where replicated converter banks pay off.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    cim = cim or CimInferenceCost()
+    sub_threshold = sub_threshold or CortexM0Model.sub_threshold()
+    mcu_energy = sub_threshold.fc_layer_energy_j(dimension, dimension)
+    rows = []
+    for batch in batches:
+        cim_energy = cim.fc_layer_batch_energy_j(dimension, dimension, batch)
+        rows.append(
+            {
+                "batch": float(batch),
+                "cim_serial_latency_s": cim.fc_layer_batch_latency_s(batch, "serial"),
+                "cim_parallel_latency_s": cim.fc_layer_batch_latency_s(
+                    batch, "parallel"
+                ),
+                "cim_energy_j": cim_energy,
+                "sub_vth_m0_j": batch * mcu_energy,
+                "energy_gain": batch * mcu_energy / cim_energy,
             }
         )
     return rows

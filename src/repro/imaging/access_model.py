@@ -74,6 +74,9 @@ class NeighborhoodAccessModel:
             "cim_activation_time_ns",
         ):
             check_positive(name, getattr(self, name))
+        for name in ("issue_overhead_pj", "cim_bit_sense_energy_pj"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
 
     @staticmethod
     def _validate(height: int, width: int, radius: int) -> None:

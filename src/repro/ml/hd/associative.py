@@ -16,7 +16,7 @@ from typing import Hashable
 import numpy as np
 
 from repro._util import as_rng
-from repro.ml.hd.hypervector import hamming_similarity
+from repro.ml.hd.hypervector import hamming_similarity, majority_from_counts
 
 __all__ = ["AssociativeMemory"]
 
@@ -40,6 +40,11 @@ class AssociativeMemory:
         self._rng = as_rng(seed)
         self._counts: dict[Hashable, np.ndarray] = {}
         self._totals: dict[Hashable, int] = {}
+        # Materialized prototypes, cached so tie-bits are drawn once per
+        # trained state: repeated classification is deterministic and
+        # classify agrees with classify_batch.  Invalidated per label by
+        # train/train_counts.
+        self._prototype_cache: dict[Hashable, np.ndarray] = {}
 
     # -- training ------------------------------------------------------------
     def train(self, label: Hashable, hypervector: np.ndarray) -> None:
@@ -52,6 +57,7 @@ class AssociativeMemory:
             self._totals[label] = 0
         self._counts[label] += hypervector.astype(np.int64)
         self._totals[label] += 1
+        self._prototype_cache.pop(label, None)
 
     def train_many(self, labels, hypervectors: np.ndarray) -> None:
         """Accumulate a labelled batch."""
@@ -80,6 +86,7 @@ class AssociativeMemory:
             self._totals[label] = 0
         self._counts[label] += counts.astype(np.int64)
         self._totals[label] += total
+        self._prototype_cache.pop(label, None)
 
     # -- prototypes ------------------------------------------------------------
     @property
@@ -91,18 +98,22 @@ class AssociativeMemory:
         return len(self._counts)
 
     def prototype(self, label: Hashable) -> np.ndarray:
-        """Majority-bundled binary prototype of one class."""
+        """Majority-bundled binary prototype of one class.
+
+        Tie components are resolved at random *once* per trained state
+        and cached, so every subsequent read — ``classify``,
+        ``similarities``, ``classify_batch``, a CIM mirror — sees the
+        same bits until the class is trained again.
+        """
         if label not in self._counts:
             raise KeyError(f"unknown class {label!r}")
-        counts = self._counts[label]
-        half = self._totals[label] / 2.0
-        proto = (counts > half).astype(np.uint8)
-        ties = counts == half
-        if np.any(ties):
-            proto[ties] = self._rng.integers(
-                0, 2, size=int(ties.sum()), dtype=np.uint8
+        cached = self._prototype_cache.get(label)
+        if cached is None:
+            cached = majority_from_counts(
+                self._counts[label], self._totals[label] / 2.0, self._rng
             )
-        return proto
+            self._prototype_cache[label] = cached
+        return cached.copy()
 
     def prototype_matrix(self) -> tuple[list[Hashable], np.ndarray]:
         """All prototypes stacked, with their label order."""
@@ -131,11 +142,10 @@ class AssociativeMemory:
         return max(scores, key=scores.get)
 
     def classify_batch(self, queries: np.ndarray) -> list[Hashable]:
-        """Winning label per query row, materializing prototypes once.
+        """Winning label per query row.
 
-        Equivalent to per-query :meth:`classify` except that prototype
-        tie-bits are drawn once for the whole batch instead of fresh per
-        query.
+        Exactly equivalent to per-query :meth:`classify`: both read the
+        cached prototypes, whose tie-bits are fixed per trained state.
         """
         queries = np.asarray(queries)
         if queries.ndim != 2 or queries.shape[1] != self.d:

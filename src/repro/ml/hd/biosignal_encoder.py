@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import as_rng
-from repro.ml.hd.hypervector import bind, bundle, permute
+from repro.ml.hd.hypervector import majority_from_counts, ngram_counts_from_rows
 from repro.ml.hd.item_memory import ItemMemory, LevelItemMemory
 
 __all__ = ["BiosignalEncoder"]
@@ -62,14 +62,39 @@ class BiosignalEncoder:
         sample = np.asarray(sample, dtype=float)
         if sample.shape != (self.n_channels,):
             raise ValueError(f"sample must have shape ({self.n_channels},)")
-        bound = [
-            bind(self.channel_memory[ch], self.level_memory.for_value(value))
-            for ch, value in enumerate(sample)
-        ]
-        return bundle(np.stack(bound), seed=self._rng)
+        return self.spatial_hypervectors(sample[None, :])[0]
 
-    def encode(self, window: np.ndarray) -> np.ndarray:
-        """Window hypervector for a ``(time, channels)`` array."""
+    def spatial_hypervectors(self, window: np.ndarray) -> np.ndarray:
+        """Record hypervectors of every time step at once, shape (T, d).
+
+        One level-memory gather and one XOR over the full
+        ``(T, channels, d)`` block replace the former per-step
+        bind-and-bundle loop; the channel majority (random tie-breaks,
+        as the paper specifies) is taken per time step on the summed
+        block.
+        """
+        window = np.asarray(window, dtype=float)
+        if window.ndim != 2 or window.shape[1] != self.n_channels:
+            raise ValueError(
+                f"window must be (time, {self.n_channels}); got {window.shape}"
+            )
+        level_hvs = self.level_memory.for_values(window.ravel()).reshape(
+            window.shape[0], self.n_channels, self.d
+        )
+        channel_hvs = self.channel_memory.rows(range(self.n_channels))
+        totals = np.bitwise_xor(level_hvs, channel_hvs[None, :, :]).sum(
+            axis=1, dtype=np.int64
+        )
+        return majority_from_counts(totals, self.n_channels / 2.0, self._rng)
+
+    def window_counts(self, window: np.ndarray) -> tuple[np.ndarray, int]:
+        """Temporal n-gram count accumulation, vectorized over the window.
+
+        Returns ``(counts, n_grams)`` like
+        :meth:`TextNgramEncoder.ngram_counts`: the component-wise sum of
+        all permuted-bound temporal n-gram hypervectors, computed as
+        ``ngram`` rolled XORs over the ``(n_grams, d)`` spatial block.
+        """
         window = np.asarray(window, dtype=float)
         if window.ndim != 2 or window.shape[1] != self.n_channels:
             raise ValueError(
@@ -77,23 +102,9 @@ class BiosignalEncoder:
             )
         if window.shape[0] < self.ngram:
             raise ValueError("window shorter than the temporal n-gram order")
-        spatial = [self.spatial_hypervector(sample) for sample in window]
-        counts = np.zeros(self.d, dtype=np.int64)
-        n_grams = 0
-        for start in range(len(spatial) - self.ngram + 1):
-            gram = None
-            for offset in range(self.ngram):
-                rotated = permute(
-                    spatial[start + offset], self.ngram - 1 - offset
-                )
-                gram = rotated if gram is None else bind(gram, rotated)
-            counts += gram
-            n_grams += 1
-        half = n_grams / 2.0
-        result = (counts > half).astype(np.uint8)
-        ties = counts == half
-        if np.any(ties):
-            result[ties] = self._rng.integers(
-                0, 2, size=int(ties.sum()), dtype=np.uint8
-            )
-        return result
+        return ngram_counts_from_rows(self.spatial_hypervectors(window), self.ngram)
+
+    def encode(self, window: np.ndarray) -> np.ndarray:
+        """Window hypervector for a ``(time, channels)`` array."""
+        counts, n_grams = self.window_counts(window)
+        return majority_from_counts(counts, n_grams / 2.0, self._rng)

@@ -23,9 +23,63 @@ __all__ = [
     "random_hypervector",
     "bind",
     "bundle",
+    "majority_from_counts",
+    "ngram_counts_from_rows",
     "permute",
     "hamming_similarity",
 ]
+
+
+def majority_from_counts(
+    counts: np.ndarray, half: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Majority threshold with the paper's random tie-breaking.
+
+    Components with ``counts > half`` set, components equal to ``half``
+    drawn uniformly from ``rng`` ("with ties broken at random").  The
+    single definition of the tie rule shared by :func:`bundle`, the
+    batched encoders and the associative-memory prototypes; works on
+    any count shape (boolean indexing flattens row-major).
+    """
+    result = (counts > half).astype(np.uint8)
+    ties = counts == half
+    if np.any(ties):
+        result[ties] = rng.integers(0, 2, size=int(ties.sum()), dtype=np.uint8)
+    return result
+
+
+NGRAM_CHUNK = 8192
+"""Default position-chunk size for bounded-memory n-gram accumulation."""
+
+
+def ngram_counts_from_rows(
+    rows: np.ndarray, ngram: int, chunk: int = NGRAM_CHUNK
+) -> tuple[np.ndarray, int]:
+    """Component sum of all permuted-bound n-gram vectors of a sequence.
+
+    ``rows`` stacks one hypervector per position, shape ``(L, d)``; the
+    n-gram at position ``s`` is ``XOR_o roll(rows[s + o], ngram-1-o)``
+    (the text/biosignal encoding scheme).  Returns ``(counts,
+    n_grams)``.  Positions accumulate in blocks of ``chunk`` grams, so
+    the transient rolled copies stay bounded at ``(chunk, d)`` however
+    long the stream is — vectorized but O(chunk * d) memory.
+    """
+    if ngram < 1:
+        raise ValueError("ngram must be >= 1")
+    if rows.ndim != 2 or rows.shape[0] < ngram:
+        raise ValueError("rows must stack at least ngram hypervectors")
+    n_grams = rows.shape[0] - ngram + 1
+    counts = np.zeros(rows.shape[1], dtype=np.int64)
+    for start in range(0, n_grams, chunk):
+        stop = min(start + chunk, n_grams)
+        bound = None
+        for offset in range(ngram):
+            rotated = np.roll(
+                rows[start + offset : stop + offset], ngram - 1 - offset, axis=1
+            )
+            bound = rotated if bound is None else np.bitwise_xor(bound, rotated)
+        counts += bound.sum(axis=0, dtype=np.int64)
+    return counts, n_grams
 
 
 def random_hypervector(
@@ -86,12 +140,7 @@ def bundle(
     else:
         totals = stacked.sum(axis=0)
         half = len(stacked) / 2.0
-    result = (totals > half).astype(np.uint8)
-    ties = totals == half
-    if np.any(ties):
-        rng = as_rng(seed)
-        result[ties] = rng.integers(0, 2, size=int(ties.sum()), dtype=np.uint8)
-    return result
+    return majority_from_counts(totals, half, as_rng(seed))
 
 
 def permute(vector: np.ndarray, shifts: int = 1) -> np.ndarray:

@@ -73,6 +73,18 @@ class ItemMemory:
         except KeyError:
             raise KeyError(f"unknown symbol {symbol!r}") from None
 
+    def rows(self, symbols: Iterable[Hashable]) -> np.ndarray:
+        """Stacked item hypervectors of a symbol sequence, shape (L, d).
+
+        One vectorized gather instead of L ``__getitem__`` calls — the
+        lookup stage of the batched encoders.
+        """
+        try:
+            indices = [self._index[symbol] for symbol in symbols]
+        except KeyError as error:
+            raise KeyError(f"unknown symbol {error.args[0]!r}") from None
+        return self._matrix[indices]
+
     def __len__(self) -> int:
         return len(self._index)
 
@@ -129,7 +141,13 @@ class LevelItemMemory:
         """Hypervector of the level containing ``value``."""
         return self._matrix[self.quantize(value)]
 
+    def quantize_values(self, values: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`quantize` over an array of values."""
+        clipped = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+        return np.minimum(
+            (clipped * self.n_levels).astype(np.intp), self.n_levels - 1
+        )
+
     def for_values(self, values: Sequence[float]) -> np.ndarray:
         """Stacked hypervectors for a sequence of values."""
-        indices = [self.quantize(v) for v in values]
-        return self._matrix[indices]
+        return self._matrix[self.quantize_values(values)]

@@ -76,9 +76,19 @@ class _HdClassifier:
         device: PcmDevice | None = None,
         adc_bits: int | None = 8,
     ) -> list:
-        """Classify samples on the chosen execution backend."""
+        """Classify samples on the chosen execution backend.
+
+        All samples are encoded up front and classified as one batched
+        associative-memory search (a single pair of array reads on the
+        CIM backend), which is label-equivalent to the former per-sample
+        ``classify`` loop now that prototype tie-bits are cached.
+        """
         memory = self._backend_memory(backend, device, adc_bits)
-        return [memory.classify(self._encode(sample)) for sample in samples]
+        samples = list(samples)
+        if not samples:
+            return []
+        queries = np.stack([self._encode(sample) for sample in samples])
+        return memory.classify_batch(queries)
 
     def evaluate(
         self,

@@ -16,7 +16,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import as_rng
-from repro.ml.hd.hypervector import bind, permute
+from repro.ml.hd.hypervector import (
+    NGRAM_CHUNK,
+    bind,
+    majority_from_counts,
+    ngram_counts_from_rows,
+    permute,
+)
 from repro.ml.hd.item_memory import ItemMemory
 
 __all__ = ["TextNgramEncoder"]
@@ -69,14 +75,23 @@ class TextNgramEncoder:
         rather than the thresholded hypervector — preserves the n-gram
         statistics exactly, which is how the language-recognition
         prototypes are trained on a whole corpus stream.
+
+        The accumulation is vectorized over text positions (item
+        gathers plus rolled XORs in bounded position chunks) and
+        bit-identical to summing :meth:`ngram_hypervector` per
+        position; memory stays O(chunk * d) however long the corpus
+        stream is.
         """
         if len(text) < self.ngram:
             raise ValueError("text shorter than the n-gram order")
+        n_grams = len(text) - self.ngram + 1
         counts = np.zeros(self.d, dtype=np.int64)
-        n_grams = 0
-        for start in range(len(text) - self.ngram + 1):
-            counts += self.ngram_hypervector(text[start : start + self.ngram])
-            n_grams += 1
+        for start in range(0, n_grams, NGRAM_CHUNK):
+            stop = min(start + NGRAM_CHUNK, n_grams)
+            piece = text[start : stop + self.ngram - 1]
+            counts += ngram_counts_from_rows(
+                self.item_memory.rows(piece), self.ngram
+            )[0]
         return counts, n_grams
 
     def encode(self, text: str) -> np.ndarray:
@@ -86,11 +101,4 @@ class TextNgramEncoder:
         is nothing to encode.
         """
         counts, n_grams = self.ngram_counts(text)
-        half = n_grams / 2.0
-        result = (counts > half).astype(np.uint8)
-        ties = counts == half
-        if np.any(ties):
-            result[ties] = self._rng.integers(
-                0, 2, size=int(ties.sum()), dtype=np.uint8
-            )
-        return result
+        return majority_from_counts(counts, n_grams / 2.0, self._rng)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.arch import miss_rate_sweep, offload_sweep
+from repro.arch import batch_offload_rows, miss_rate_sweep, offload_sweep
 
 
 class TestSweepStructure:
@@ -94,3 +94,31 @@ class TestOffloadSweep:
         (row,) = offload_sweep([0.3], m1=0.8, m2=0.8)
         assert row["speedup"] > 1.0
         assert row["energy_gain"] > 1.0
+
+
+class TestBatchOffload:
+    def test_serial_columns_are_batch_invariant(self):
+        """Peripheral reuse leaves the per-instruction CIM time alone."""
+        rows = batch_offload_rows(batches=(1, 8, 64))
+        serial = [r["serial_speedup"] for r in rows]
+        assert serial[0] == pytest.approx(serial[1]) == pytest.approx(serial[2])
+
+    def test_parallel_converters_improve_with_batch(self):
+        rows = batch_offload_rows(batches=(1, 8, 64))
+        parallel = [r["parallel_speedup"] for r in rows]
+        assert parallel == sorted(parallel)
+        assert parallel[-1] > parallel[0]
+        # static energy charged over a shorter delay: gain also grows
+        gains = [r["parallel_energy_gain"] for r in rows]
+        assert gains == sorted(gains)
+
+    def test_batch_one_matches_both_schedules(self):
+        (row,) = batch_offload_rows(batches=(1,))
+        assert row["parallel_speedup"] == pytest.approx(row["serial_speedup"])
+        assert row["parallel_cim_delay_ns"] == pytest.approx(
+            row["serial_cim_delay_ns"]
+        )
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            batch_offload_rows(batches=(0,))

@@ -1,7 +1,9 @@
 """Tests of the crossbar cost model against the Sec. III.B.3 anchors."""
 
+import numpy as np
 import pytest
 
+from repro.crossbar import CrossbarOperator
 from repro.energy import AdcModel, CrossbarCostModel, FpgaMvmDesign
 
 
@@ -51,6 +53,161 @@ class TestScaling:
     def test_comparisons_reject_nonpositive(self):
         with pytest.raises(ValueError):
             CrossbarCostModel().power_advantage_over(0.0)
+
+
+class TestBatchSchedules:
+    def test_serial_b1_reproduces_the_mvm_anchor(self):
+        """The serial schedule at B = 1 is exactly today's 222 nJ MVM."""
+        model = CrossbarCostModel()
+        assert model.matmat_energy_j(1, "serial") == pytest.approx(model.mvm_energy_j)
+        assert model.matmat_energy_j(1, "serial") == pytest.approx(222e-9, rel=0.01)
+        assert model.matmat_latency_s(1, "serial") == model.cycle_time_s
+
+    @pytest.mark.parametrize("schedule", ["serial", "parallel"])
+    def test_energy_monotone_in_batch(self, schedule):
+        model = CrossbarCostModel()
+        energies = [model.matmat_energy_j(b, schedule) for b in (1, 2, 8, 64)]
+        assert energies == sorted(energies)
+        assert energies[0] < energies[-1]
+
+    def test_schedules_spend_equal_energy(self):
+        """Walden conversion energy is rate-independent, so the two
+        schedules trade latency/area, not energy."""
+        model = CrossbarCostModel()
+        for batch in (1, 8, 64):
+            assert model.matmat_energy_j(batch, "serial") == pytest.approx(
+                model.matmat_energy_j(batch, "parallel")
+            )
+
+    def test_serial_latency_linear_parallel_flat(self):
+        model = CrossbarCostModel()
+        assert model.matmat_latency_s(64, "serial") == pytest.approx(
+            64 * model.cycle_time_s
+        )
+        assert model.matmat_latency_s(64, "parallel") == pytest.approx(
+            model.cycle_time_s
+        )
+
+    def test_parallel_banks_scale_area_and_peak_power(self):
+        model = CrossbarCostModel()
+        serial = model.batch_readout(16, "serial")
+        parallel = model.batch_readout(16, "parallel")
+        assert serial.adc_banks == 1
+        assert serial.array_copies == 1
+        assert parallel.adc_banks == 16
+        assert parallel.array_copies == 16
+        assert parallel.adc_area_m2 == pytest.approx(16 * serial.adc_area_m2)
+        # concurrency needs replicated arrays, not just converter banks
+        assert parallel.array_area_m2 == pytest.approx(16 * model.array_area_m2)
+        assert serial.total_area_m2 == pytest.approx(model.total_area_m2)
+        assert parallel.total_area_m2 == pytest.approx(16 * model.total_area_m2)
+        assert serial.peak_power_w == pytest.approx(model.total_power_w)
+        assert parallel.peak_power_w == pytest.approx(16 * model.total_power_w)
+
+    def test_report_consistency(self):
+        report = CrossbarCostModel().batch_readout(8, "serial")
+        assert report.energy_j == pytest.approx(
+            report.device_energy_j + report.adc_energy_j
+        )
+        assert report.energy_per_mvm_j == pytest.approx(report.energy_j / 8)
+        assert report.throughput_mvm_per_s == pytest.approx(8 / report.latency_s)
+
+    def test_rejects_bad_batch_and_schedule(self):
+        model = CrossbarCostModel()
+        with pytest.raises(ValueError):
+            model.matmat_energy_j(0)
+        with pytest.raises(ValueError):
+            model.matmat_latency_s(4, "simultaneous")
+        with pytest.raises(ValueError):
+            model.batch_readout(-1)
+        with pytest.raises(ValueError):
+            model.batch_readout(2.5)  # fractional converter banks
+
+    def test_integral_float_batch_accepted(self):
+        report = CrossbarCostModel().batch_readout(4.0, "parallel")
+        assert report.adc_banks == 4 and isinstance(report.adc_banks, int)
+
+    def test_rejects_bad_new_fields(self):
+        with pytest.raises(ValueError):
+            CrossbarCostModel(devices_per_cell=0)
+        with pytest.raises(ValueError):
+            CrossbarCostModel(dac_energy_fraction=-0.1)
+
+    def test_differential_pairs_double_device_power(self):
+        single = CrossbarCostModel(rows=64, cols=64)
+        differential = CrossbarCostModel(rows=64, cols=64, devices_per_cell=2)
+        assert differential.device_power_w == pytest.approx(2 * single.device_power_w)
+
+
+class TestCounterDrivenEnergy:
+    def test_conversion_energy_charges_per_conversion(self):
+        model = CrossbarCostModel()
+        per_adc = model.adc.energy_per_conversion_j
+        assert model.conversion_energy_j(0, 100) == pytest.approx(100 * per_adc)
+        assert model.conversion_energy_j(100, 0) == pytest.approx(
+            100 * model.dac_energy_fraction * per_adc
+        )
+        with pytest.raises(ValueError):
+            model.conversion_energy_j(-1, 0)
+
+    def test_energy_from_stats_uses_real_counters(self):
+        """A batched matmat is priced from the conversions the operator
+        actually performed (zero columns skipped), not assumed cycles."""
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((12, 20))
+        operator = CrossbarOperator(matrix, seed=1)
+        x_block = rng.standard_normal((20, 5))
+        x_block[:, 2] = 0.0  # skipped column: converters never fire
+        operator.matmat(x_block)
+
+        model = CrossbarCostModel(rows=20, cols=12)
+        report = model.energy_from_stats(operator.stats)
+        per_adc = model.adc.energy_per_conversion_j
+        assert operator.stats["adc_conversions"] == 4 * 12
+        assert report["adc_energy_j"] == pytest.approx(4 * 12 * per_adc)
+        assert report["dac_energy_j"] == pytest.approx(
+            4 * 20 * model.dac_energy_fraction * per_adc
+        )
+        # the skipped zero column dissipated nothing: 4 live of 5 reads
+        assert report["n_reads"] == 5
+        assert report["n_live_reads"] == 4
+        assert report["device_energy_j"] == pytest.approx(
+            4 * model.device_read_energy_j
+        )
+        assert report["total_energy_j"] == pytest.approx(
+            report["device_energy_j"]
+            + report["adc_energy_j"]
+            + report["dac_energy_j"]
+        )
+
+    def test_energy_from_stats_falls_back_without_live_counters(self):
+        model = CrossbarCostModel()
+        report = model.energy_from_stats(
+            {
+                "n_matvec": 3,
+                "n_rmatvec": 2,
+                "dac_conversions": 0,
+                "adc_conversions": 0,
+            }
+        )
+        assert report["n_live_reads"] == 5
+        assert report["device_energy_j"] == pytest.approx(
+            5 * model.device_read_energy_j
+        )
+
+    def test_energy_from_stats_validates(self):
+        model = CrossbarCostModel()
+        with pytest.raises(KeyError):
+            model.energy_from_stats({"n_matvec": 1})
+        with pytest.raises(ValueError):
+            model.energy_from_stats(
+                {
+                    "n_matvec": -1,
+                    "n_rmatvec": 0,
+                    "dac_conversions": 0,
+                    "adc_conversions": 0,
+                }
+            )
 
 
 class TestAdcModel:

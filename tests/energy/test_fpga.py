@@ -46,3 +46,30 @@ class TestScaling:
     def test_rejects_bad_rows(self):
         with pytest.raises(ValueError):
             FpgaMvmDesign().mvm_cycles(0, 1024)
+
+
+class TestBatchedMatmat:
+    def test_batch_of_one_equals_mvm(self):
+        design = FpgaMvmDesign()
+        assert design.matmat_cycles(1) == design.mvm_cycles(1024, 1024)
+        assert design.matmat_latency_s(1) == pytest.approx(design.mvm_latency_s())
+        assert design.matmat_energy_j(1) == pytest.approx(design.mvm_energy_j())
+
+    def test_pipeline_drain_amortizes_across_batch(self):
+        """Back-to-back vectors keep the MAC pipelines full, so a batch
+        is cheaper than B standalone MVMs — but only by the drain."""
+        design = FpgaMvmDesign()
+        batch = 64
+        batched = design.matmat_cycles(batch)
+        looped = batch * design.mvm_cycles(1024, 1024)
+        assert batched < looped
+        assert looped - batched == (batch - 1) * design.pipeline_depth
+
+    def test_energy_grows_monotonically(self):
+        design = FpgaMvmDesign()
+        energies = [design.matmat_energy_j(b) for b in (1, 4, 16, 64)]
+        assert energies == sorted(energies)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            FpgaMvmDesign().matmat_cycles(0)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.energy import CimInferenceCost, CortexM0Model, iot_energy_rows
+from repro.energy import (
+    CimInferenceCost,
+    CortexM0Model,
+    iot_batch_rows,
+    iot_energy_rows,
+)
 
 
 class TestCortexM0:
@@ -78,3 +83,47 @@ class TestFig7bSeries:
         row = iot_energy_rows()[-1]
         gain = row["sub_vth_m0_j"] / row["cim_4bit_adc_j"]
         assert gain > 1e3
+
+
+class TestBatchedInference:
+    def test_batch_energy_linear_and_schedule_invariant(self):
+        cost = CimInferenceCost()
+        single = cost.fc_layer_energy_j(64, 64)
+        assert cost.fc_layer_batch_energy_j(64, 64, 8) == pytest.approx(8 * single)
+        assert cost.fc_layer_batch_energy_j(64, 64, 8, "parallel") == pytest.approx(
+            cost.fc_layer_batch_energy_j(64, 64, 8, "serial")
+        )
+
+    def test_batch_latency_serial_linear_parallel_flat(self):
+        cost = CimInferenceCost()
+        assert cost.fc_layer_batch_latency_s(16, "serial") == pytest.approx(
+            16 * cost.read_pulse_s
+        )
+        assert cost.fc_layer_batch_latency_s(16, "parallel") == pytest.approx(
+            cost.read_pulse_s
+        )
+
+    def test_batch_validation(self):
+        cost = CimInferenceCost()
+        with pytest.raises(ValueError):
+            cost.fc_layer_batch_energy_j(8, 8, 0)
+        with pytest.raises(ValueError):
+            cost.fc_layer_batch_latency_s(4, "warp")
+
+    def test_batch_rows_structure_and_gain_flat(self):
+        """The MCU has no batch amortization, so the per-sample energy
+        gain is batch-invariant while parallel latency stays flat."""
+        rows = iot_batch_rows(dimension=128, batches=(1, 8, 64))
+        assert [int(r["batch"]) for r in rows] == [1, 8, 64]
+        gains = [r["energy_gain"] for r in rows]
+        assert gains[0] == pytest.approx(gains[1]) == pytest.approx(gains[2])
+        assert rows[-1]["cim_serial_latency_s"] == pytest.approx(
+            64 * rows[0]["cim_serial_latency_s"]
+        )
+        assert rows[-1]["cim_parallel_latency_s"] == pytest.approx(
+            rows[0]["cim_parallel_latency_s"]
+        )
+
+    def test_batch_rows_validation(self):
+        with pytest.raises(ValueError):
+            iot_batch_rows(dimension=0)

@@ -82,3 +82,55 @@ class TestClassification:
     def test_empty_queries_rejected(self, memory):
         with pytest.raises(ValueError):
             memory.accuracy(np.zeros((0, 1024)), [])
+
+
+class TestTieDeterminism:
+    """Prototype tie-bits are drawn once per trained state and cached."""
+
+    @pytest.fixture
+    def tied_memory(self):
+        """Every component of class 'a' is tied (counts == total / 2)."""
+        memory = AssociativeMemory(d=512, seed=3)
+        pattern = np.zeros(512, dtype=np.uint8)
+        pattern[::2] = 1
+        memory.train("a", pattern)
+        memory.train("a", 1 - pattern)
+        anti = np.ones(512, dtype=np.uint8)
+        memory.train("b", anti)
+        return memory
+
+    def test_prototype_stable_across_reads(self, tied_memory):
+        first = tied_memory.prototype("a")
+        assert np.array_equal(first, tied_memory.prototype("a"))
+
+    def test_repeated_classify_returns_same_label(self, tied_memory, rng):
+        query = rng.integers(0, 2, 512, dtype=np.uint8)
+        labels = {tied_memory.classify(query) for _ in range(5)}
+        assert len(labels) == 1
+
+    def test_classify_agrees_with_classify_batch(self, tied_memory, rng):
+        queries = rng.integers(0, 2, (6, 512), dtype=np.uint8)
+        batched = tied_memory.classify_batch(queries)
+        looped = [tied_memory.classify(q) for q in queries]
+        assert batched == looped
+
+    def test_similarities_stable_across_reads(self, tied_memory, rng):
+        query = rng.integers(0, 2, 512, dtype=np.uint8)
+        assert tied_memory.similarities(query) == tied_memory.similarities(query)
+
+    def test_training_invalidates_only_that_class(self, tied_memory):
+        before_a = tied_memory.prototype("a")
+        before_b = tied_memory.prototype("b")
+        tied_memory.train("a", np.ones(512, dtype=np.uint8))
+        # 'a' re-materializes from the new counts (no ties remain: the
+        # majority of 3 vectors is strict everywhere)
+        after_a = tied_memory.prototype("a")
+        counts = tied_memory._counts["a"]
+        assert np.array_equal(after_a, (counts > 1.5).astype(np.uint8))
+        assert np.array_equal(tied_memory.prototype("b"), before_b)
+        assert before_a.shape == after_a.shape
+
+    def test_returned_prototype_is_a_copy(self, tied_memory):
+        proto = tied_memory.prototype("a")
+        proto[:] = 7
+        assert set(np.unique(tied_memory.prototype("a"))) <= {0, 1}

@@ -54,6 +54,23 @@ class TestTextEncoder:
         assert n == 2
         assert counts.max() <= n and counts.min() >= 0
 
+    def test_vectorized_counts_equal_per_position_loop(self, text_encoder):
+        """The rolled-XOR accumulation is bit-identical to summing
+        ngram_hypervector over every position."""
+        text = "the quick brown fox jumps"
+        counts, n_grams = text_encoder.ngram_counts(text)
+        reference = np.zeros(text_encoder.d, dtype=np.int64)
+        for start in range(len(text) - text_encoder.ngram + 1):
+            reference += text_encoder.ngram_hypervector(
+                text[start : start + text_encoder.ngram]
+            )
+        assert n_grams == len(text) - text_encoder.ngram + 1
+        assert np.array_equal(counts, reference)
+
+    def test_unknown_symbol_rejected(self, text_encoder):
+        with pytest.raises(KeyError, match="unknown symbol"):
+            text_encoder.ngram_counts("abc123")
+
 
 class TestBiosignalEncoder:
     @pytest.fixture
@@ -92,3 +109,40 @@ class TestBiosignalEncoder:
             BiosignalEncoder(n_channels=0)
         with pytest.raises(ValueError):
             BiosignalEncoder(n_channels=4, ngram=0)
+
+    def test_window_counts_equal_per_step_loop(self):
+        """With an odd channel count (no spatial ties, no RNG) the
+        vectorized window counts match the explicit per-position
+        permute-bind-accumulate loop exactly."""
+        from repro.ml.hd.hypervector import bind, permute
+
+        encoder = BiosignalEncoder(n_channels=5, d=1024, n_levels=8, ngram=3, seed=4)
+        window = np.random.default_rng(2).random((12, 5))
+        counts, n_grams = encoder.window_counts(window)
+
+        spatial = [encoder.spatial_hypervector(sample) for sample in window]
+        reference = np.zeros(encoder.d, dtype=np.int64)
+        for start in range(len(spatial) - encoder.ngram + 1):
+            gram = None
+            for offset in range(encoder.ngram):
+                rotated = permute(spatial[start + offset], encoder.ngram - 1 - offset)
+                gram = rotated if gram is None else bind(gram, rotated)
+            reference += gram
+        assert n_grams == 10
+        assert np.array_equal(counts, reference)
+
+    def test_spatial_hypervectors_match_single_steps(self):
+        encoder = BiosignalEncoder(n_channels=5, d=512, n_levels=8, seed=7)
+        window = np.random.default_rng(3).random((6, 5))
+        stacked = encoder.spatial_hypervectors(window)
+        singles = np.stack(
+            [encoder.spatial_hypervector(sample) for sample in window]
+        )
+        assert np.array_equal(stacked, singles)
+
+    def test_window_counts_validation(self):
+        encoder = BiosignalEncoder(n_channels=4, d=256, ngram=3, seed=0)
+        with pytest.raises(ValueError, match="shorter"):
+            encoder.window_counts(np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            encoder.window_counts(np.zeros((8, 3)))

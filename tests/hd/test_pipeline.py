@@ -1,7 +1,9 @@
 """End-to-end tests of the Fig. 8 HD applications."""
 
+import numpy as np
 import pytest
 
+from repro.devices import PcmDevice
 from repro.ml.hd import GestureRecognizer, LanguageRecognizer
 from repro.workloads import EmgGestureGenerator, LanguageCorpus
 
@@ -72,3 +74,65 @@ class TestGestureRecognition:
         recognizer, _, _ = gesture_setup
         with pytest.raises(ValueError):
             recognizer.evaluate([], [])
+
+    def test_empty_predict_returns_empty(self, gesture_setup):
+        recognizer, _, _ = gesture_setup
+        assert recognizer.predict([]) == []
+
+
+class TestBatchedPrediction:
+    """predict runs one batched classification, label-equivalent to the
+    former per-sample classify loop on both backends."""
+
+    @staticmethod
+    def tie_free_texts(texts, count):
+        """Odd-length texts have an odd trigram count (len - 2), so the
+        bundle majority never ties and encoding is deterministic —
+        which lets the tests re-encode without consuming tie-break
+        RNG."""
+        trimmed = [t[: len(t) - 1 + (len(t) % 2)] for t in texts if len(t) >= 7]
+        assert len(trimmed) >= count
+        return trimmed[:count]
+
+    def test_exact_backend_equals_per_sample_loop(self, language_setup):
+        recognizer, texts, _ = language_setup
+        samples = self.tie_free_texts(texts, 12)
+        batched = recognizer.predict(samples)
+        looped = [
+            recognizer.memory.classify(recognizer._encode(text))
+            for text in samples
+        ]
+        assert batched == looped
+
+    def test_cim_backend_equals_per_sample_loop(self, language_setup):
+        """With deterministic reads the batched CIM search is bitwise
+        the looped search, so the labels must agree exactly."""
+        recognizer, texts, _ = language_setup
+        samples = self.tie_free_texts(texts, 10)
+        quiet = PcmDevice(read_noise_sigma=0.0)
+        recognizer._cim_memory = None  # rebuild on the quiet device
+        try:
+            batched = recognizer.predict(samples, backend="cim", device=quiet)
+            memory = recognizer._backend_memory("cim", quiet, 8)
+            looped = [
+                memory.classify(recognizer._encode(text)) for text in samples
+            ]
+            assert batched == looped
+        finally:
+            recognizer._cim_memory = None  # don't leak the quiet device
+
+    def test_repeated_prediction_is_deterministic(self, language_setup):
+        """Prototype tie-bits are cached per trained state: classifying
+        the same (tie-free) samples twice returns identical labels."""
+        recognizer, texts, _ = language_setup
+        samples = self.tie_free_texts(texts, 12)
+        assert recognizer.predict(samples) == recognizer.predict(samples)
+
+    def test_cim_search_is_batched_not_looped(self, gesture_setup):
+        recognizer, windows, _ = gesture_setup
+        memory = recognizer._backend_memory("cim", None, 8)
+        direct = memory.array_direct.n_col_reads
+        recognizer.predict(windows[:6], backend="cim")
+        # one batched search issues 6 read events in one voltage block
+        assert memory.array_direct.n_col_reads == direct + 6
+        assert memory.n_queries % 6 == 0

@@ -66,3 +66,18 @@ class TestValidation:
             NeighborhoodAccessModel(bits_per_pixel=0)
         with pytest.raises(ValueError):
             NeighborhoodAccessModel(sram_access_energy_pj=0.0)
+
+    def test_rejects_negative_overhead_energies(self):
+        """issue_overhead_pj / cim_bit_sense_energy_pj may be zero but
+        never negative (a negative term silently inflates the gain)."""
+        with pytest.raises(ValueError, match="issue_overhead_pj"):
+            NeighborhoodAccessModel(issue_overhead_pj=-1.0)
+        with pytest.raises(ValueError, match="cim_bit_sense_energy_pj"):
+            NeighborhoodAccessModel(cim_bit_sense_energy_pj=-0.01)
+
+    def test_zero_overhead_energies_allowed(self):
+        model = NeighborhoodAccessModel(
+            issue_overhead_pj=0.0, cim_bit_sense_energy_pj=0.0
+        )
+        assert model.conventional(8, 8, 3).energy_j > 0
+        assert model.cim(8, 8, 3).energy_j > 0
