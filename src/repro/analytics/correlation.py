@@ -97,10 +97,28 @@ class CorrelatedProcesses:
         return (mixed > self._threshold).astype(np.uint8)
 
     def run(self, n_steps: int) -> np.ndarray:
-        """Stack ``n_steps`` activations: shape ``(n_steps, N)``."""
+        """Stack ``n_steps`` activations: shape ``(n_steps, N)``.
+
+        One vectorized draw replaces the former per-step Python loop.
+        ``standard_normal`` consumes the stream sequentially in C order,
+        so drawing ``(n_steps, N + 1)`` and splitting each row into the
+        N latent variables plus the common factor reproduces the looped
+        :meth:`step` path bitwise from the same seed — history
+        generation just runs two orders of magnitude faster.
+        """
         if n_steps < 1:
             raise ValueError("n_steps must be >= 1")
-        return np.stack([self.step() for _ in range(n_steps)])
+        n = self.n_processes
+        draws = self._rng.standard_normal((n_steps, n + 1))
+        latent = draws[:, :n]
+        common = draws[:, n]
+        mixed = latent.copy()
+        c = self.correlation
+        mixed[:, self.correlated_indices] = (
+            np.sqrt(c) * common[:, None]
+            + np.sqrt(1.0 - c) * latent[:, self.correlated_indices]
+        )
+        return (mixed > self._threshold).astype(np.uint8)
 
 
 @dataclass

@@ -24,6 +24,7 @@ from repro.crossbar.array import CrossbarArray
 from repro.crossbar.coding import DifferentialCoding
 from repro.crossbar.converters import Adc, Dac
 from repro.crossbar.mixed_precision import (
+    BatchSolveResult,
     MixedPrecisionSolver,
     SolveResult,
     spd_test_system,
@@ -35,6 +36,7 @@ from repro.crossbar.tile import split_ranges
 
 __all__ = [
     "Adc",
+    "BatchSolveResult",
     "CrossbarArray",
     "CrossbarOperator",
     "Dac",

@@ -38,7 +38,14 @@ __all__ = ["CrossbarOperator", "DenseOperator"]
 
 
 class DenseOperator:
-    """Exact numpy implementation of the operator interface."""
+    """Exact numpy implementation of the operator interface.
+
+    Implements the full four-product surface (``matvec``/``rmatvec``
+    and their batched ``matmat``/``rmatmat`` forms) with counters that
+    tally one logical read per input vector, so the ideal-software
+    baseline is a drop-in for :class:`CrossbarOperator` in the batched
+    solvers and their counter-equivalence tests alike.
+    """
 
     def __init__(self, matrix: np.ndarray) -> None:
         self.matrix = np.asarray(matrix, dtype=float)
@@ -58,6 +65,31 @@ class DenseOperator:
     def rmatvec(self, z: np.ndarray) -> np.ndarray:
         self.n_rmatvec += 1
         return self.matrix.T @ np.asarray(z, dtype=float)
+
+    def _check_block(self, block: np.ndarray, rows: int, name: str) -> np.ndarray:
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2 or block.shape[0] != rows:
+            raise ValueError(f"{name} must have shape ({rows}, B), got {block.shape}")
+        if block.shape[1] == 0:
+            raise ValueError(f"{name} must contain at least one column")
+        return block
+
+    def matmat(self, x_block: np.ndarray) -> np.ndarray:
+        """Exact ``A @ X`` for a block of input vectors (one per column)."""
+        x_block = self._check_block(x_block, self.matrix.shape[1], "X")
+        self.n_matvec += x_block.shape[1]
+        return self.matrix @ x_block
+
+    def rmatmat(self, z_block: np.ndarray) -> np.ndarray:
+        """Exact ``A.T @ Z`` for a block of input vectors."""
+        z_block = self._check_block(z_block, self.matrix.shape[0], "Z")
+        self.n_rmatvec += z_block.shape[1]
+        return self.matrix.T @ z_block
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Logical read counters (the exact baseline has no converters)."""
+        return {"n_matvec": self.n_matvec, "n_rmatvec": self.n_rmatvec}
 
 
 class _TilePair:

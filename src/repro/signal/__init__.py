@@ -1,13 +1,31 @@
 """Compressed sensing and recovery (Sec. III.B, system S7).
 
-* :class:`CsProblem` — the observation model ``y = A x0 + w``.
+* :class:`CsProblem` / :class:`CsProblemBatch` — the observation model
+  ``y = A x0 + w``, single-instance and B instances sharing one matrix.
 * :func:`amp_recover` — first-order approximate message passing with a
   pluggable matrix-vector backend, so the same solver runs on the exact
   :class:`~repro.crossbar.DenseOperator` or on a noisy
   :class:`~repro.crossbar.CrossbarOperator` (the Fig. 6 architecture).
+* :func:`amp_recover_batch` — the fleet solver: B recoveries sharing
+  one programmed matrix ride the operator's ``matmat``/``rmatmat``
+  with per-column thresholds and active-set convergence masking.
 """
 
-from repro.signal.amp import AmpResult, amp_recover, soft_threshold
-from repro.signal.cs import CsProblem
+from repro.signal.amp import (
+    AmpBatchResult,
+    AmpResult,
+    amp_recover,
+    amp_recover_batch,
+    soft_threshold,
+)
+from repro.signal.cs import CsProblem, CsProblemBatch
 
-__all__ = ["AmpResult", "CsProblem", "amp_recover", "soft_threshold"]
+__all__ = [
+    "AmpBatchResult",
+    "AmpResult",
+    "CsProblem",
+    "CsProblemBatch",
+    "amp_recover",
+    "amp_recover_batch",
+    "soft_threshold",
+]

@@ -19,6 +19,18 @@ exposing ``matvec``/``rmatvec`` — either the exact
 system: "the AMP algorithm is run in a dedicated processing unit, while
 the computation of q_t = A x_t and u_t = A* z_t is performed using the
 (same) crossbar array."
+
+While each recovery is inherently sequential *in t*, AMP is
+embarrassingly parallel *across problems* sharing one measurement
+matrix — the natural CIM serving scenario, where ``A`` is programmed
+once into the array and many users' measurement vectors arrive
+concurrently.  :func:`amp_recover_batch` recovers B signals at once by
+driving the operator's ``matmat``/``rmatmat`` with the whole working
+set: per-column thresholds, per-column Onsager terms, and active-set
+convergence masking (converged columns leave the working set, so later
+iterations run narrower matmats).  On an exact backend the batched
+solver is loop-equivalent: column ``b`` follows precisely the
+trajectory :func:`amp_recover` would produce for measurement ``b``.
 """
 
 from __future__ import annotations
@@ -27,14 +39,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro._util import nmse
+from repro._util import check_in, nmse
 
-__all__ = ["AmpResult", "amp_recover", "soft_threshold"]
+__all__ = ["AmpBatchResult", "AmpResult", "amp_recover", "amp_recover_batch",
+           "soft_threshold"]
 
 
-def soft_threshold(values: np.ndarray, tau: float) -> np.ndarray:
-    """Soft-threshold denoiser ``eta(v) = sign(v) * max(|v| - tau, 0)``."""
-    if tau < 0:
+def soft_threshold(values: np.ndarray, tau: float | np.ndarray) -> np.ndarray:
+    """Soft-threshold denoiser ``eta(v) = sign(v) * max(|v| - tau, 0)``.
+
+    ``tau`` may be a scalar, or — for a 2-D ``values`` block of shape
+    ``(n, B)`` — a length-B vector applying one threshold per column
+    (the batched AMP iteration thresholds each problem at its own
+    residual level).  Every threshold must be non-negative.
+    """
+    tau = np.asarray(tau, dtype=float)
+    if np.any(tau < 0):
         raise ValueError("tau must be non-negative")
     values = np.asarray(values, dtype=float)
     return np.sign(values) * np.maximum(np.abs(values) - tau, 0.0)
@@ -76,6 +96,95 @@ class AmpResult:
         return self.nmse_history[-1]
 
 
+@dataclass
+class AmpBatchResult:
+    """Outcome of a batched AMP recovery of B signals sharing one matrix.
+
+    Attributes
+    ----------
+    estimates:
+        Final estimate block of shape ``(n, B)`` — one recovered signal
+        per column.
+    iterations:
+        Per-column iteration counts (columns leave the working set as
+        they converge, so counts are generally unequal).
+    converged:
+        Per-column convergence flags.
+    residual_norms / nmse_histories / thresholds:
+        Per-column histories (list of B lists), identical in meaning to
+        the :class:`AmpResult` fields.
+    active_counts:
+        Working-set width at each global sweep — ``active_counts[t]``
+        columns went through the ``rmatmat``/``matmat`` pair of sweep
+        ``t``.  This is the record the latency models price from.
+    """
+
+    estimates: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+    residual_norms: list[list[float]]
+    nmse_histories: list[list[float]]
+    thresholds: list[list[float]]
+    active_counts: list[int] = field(default_factory=list)
+
+    @property
+    def batch(self) -> int:
+        return self.estimates.shape[1]
+
+    @property
+    def sweeps(self) -> int:
+        """Global iterations executed (matmat/rmatmat call pairs)."""
+        return len(self.active_counts)
+
+    @property
+    def all_converged(self) -> bool:
+        return bool(self.converged.all())
+
+    @property
+    def final_nmse(self) -> np.ndarray:
+        """Last tracked NMSE per column (ground truth required)."""
+        if any(not history for history in self.nmse_histories):
+            raise ValueError("ground truth was not supplied to amp_recover_batch")
+        return np.array([history[-1] for history in self.nmse_histories])
+
+    def readout_cycles(self, schedule: str = "serial") -> int:
+        """Crossbar read cycles consumed by this run under a schedule.
+
+        Each sweep issues one ``rmatmat`` and one ``matmat`` at the
+        current working-set width: serial peripheral reuse digitizes the
+        set back-to-back (width cycles per call), parallel converter
+        banks digitize it in one cycle per call.  Active-set masking
+        therefore shrinks serial latency directly, and frees converter
+        banks under the parallel schedule.
+        """
+        check_in("schedule", schedule, ("serial", "parallel"))
+        if schedule == "serial":
+            return 2 * int(sum(self.active_counts))
+        return 2 * self.sweeps
+
+    def column_result(self, column: int) -> AmpResult:
+        """The :class:`AmpResult` view of one batch column."""
+        if not 0 <= column < self.batch:
+            raise IndexError(f"column must lie in [0, {self.batch}), got {column}")
+        return AmpResult(
+            estimate=self.estimates[:, column].copy(),
+            residual_norms=list(self.residual_norms[column]),
+            nmse_history=list(self.nmse_histories[column]),
+            thresholds=list(self.thresholds[column]),
+            converged=bool(self.converged[column]),
+        )
+
+
+def _check_amp_parameters(n: int, m: int, iterations: int,
+                          threshold_factor: float) -> None:
+    if n < 1 or m < 1:
+        raise ValueError("dimensions must be >= 1")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if threshold_factor <= 0:
+        raise ValueError("threshold_factor must be positive")
+
+
 def amp_recover(
     measurements: np.ndarray,
     operator,
@@ -105,16 +214,13 @@ def amp_recover(
         Optional ``x0`` for NMSE tracking.
     tolerance:
         Stop when the estimate changes (in relative L2) by less than
-        this between iterations.
+        this between iterations.  An exactly unchanged estimate
+        (``delta == 0``, e.g. the zero fixed point reached from
+        ``y = 0``) always counts as converged.
     """
     y = np.asarray(measurements, dtype=float)
     m = y.shape[0]
-    if n < 1 or m < 1:
-        raise ValueError("dimensions must be >= 1")
-    if iterations < 1:
-        raise ValueError("iterations must be >= 1")
-    if threshold_factor <= 0:
-        raise ValueError("threshold_factor must be positive")
+    _check_amp_parameters(n, m, iterations, threshold_factor)
 
     x = np.zeros(n)
     z = y.copy()
@@ -134,8 +240,135 @@ def amp_recover(
         delta = float(np.linalg.norm(x_new - x))
         scale = float(np.linalg.norm(x_new))
         x = x_new
-        if scale > 0 and delta / scale < tolerance:
+        if delta == 0.0 or (scale > 0 and delta / scale < tolerance):
             result.converged = True
             break
     result.estimate = x
     return result
+
+
+def amp_recover_batch(
+    measurements: np.ndarray,
+    operator,
+    n: int,
+    iterations: int = 30,
+    threshold_factor: float = 1.3,
+    ground_truth: np.ndarray | None = None,
+    tolerance: float = 1e-8,
+) -> AmpBatchResult:
+    """Recover B sparse signals sharing one measurement matrix with AMP.
+
+    Runs the :func:`amp_recover` iteration on all columns of a
+    ``(m, B)`` measurement block at once, replacing the per-problem
+    ``rmatvec``/``matvec`` pair by one ``rmatmat``/``matmat`` pair over
+    the current working set.  Thresholds ``tau_t`` and Onsager terms are
+    computed per column, and **active-set convergence masking** removes
+    a column from the working set the moment it meets the stopping rule
+    — its estimate freezes, and subsequent sweeps drive narrower blocks
+    through the array.
+
+    Loop equivalence: on an exact backend every column follows the
+    trajectory the looped solver would take, stops at the same
+    iteration, and the operator's conversion counters total exactly the
+    looped run's (one conversion per element per live column).  On a
+    noisy crossbar the batched and looped runs are two read-noise
+    realizations of the same computation.
+
+    Parameters
+    ----------
+    measurements:
+        Observed block ``Y`` of shape ``(m, B)`` — one measurement
+        vector per column (use :func:`amp_recover` for a single 1-D
+        vector).
+    operator:
+        Object with ``matmat`` (``(n, B) -> (m, B)``) and ``rmatmat``
+        (``(m, B) -> (n, B)``), sharing one stored matrix across the
+        batch — e.g. :class:`~repro.crossbar.CrossbarOperator`.
+    n:
+        Signal dimension N.
+    iterations:
+        Maximum AMP iterations per column.
+    threshold_factor:
+        The alpha in ``tau_t = alpha * ||z_t|| / sqrt(M)``, shared by
+        all columns (each column still gets its own ``tau_t`` from its
+        own residual).
+    ground_truth:
+        Optional ``(n, B)`` block of true signals for NMSE tracking.
+    tolerance:
+        Per-column stopping rule, as in :func:`amp_recover`.
+    """
+    y = np.asarray(measurements, dtype=float)
+    if y.ndim != 2:
+        raise ValueError(
+            "measurements must be a (m, B) block; use amp_recover for a "
+            "single measurement vector"
+        )
+    m, batch = y.shape
+    if batch < 1:
+        raise ValueError("measurements must contain at least one column")
+    _check_amp_parameters(n, m, iterations, threshold_factor)
+    truth = None
+    if ground_truth is not None:
+        truth = np.asarray(ground_truth, dtype=float)
+        if truth.shape != (n, batch):
+            raise ValueError(
+                f"ground_truth must have shape ({n}, {batch}), got {truth.shape}"
+            )
+        if np.any(np.sum(truth**2, axis=0) == 0.0):
+            raise ValueError("reference signal has zero energy")
+
+    x = np.zeros((n, batch))
+    z = y.copy()
+    iteration_counts = np.zeros(batch, dtype=int)
+    converged = np.zeros(batch, dtype=bool)
+    residual_norms: list[list[float]] = [[] for _ in range(batch)]
+    thresholds: list[list[float]] = [[] for _ in range(batch)]
+    nmse_histories: list[list[float]] = [[] for _ in range(batch)]
+    active_counts: list[int] = []
+    active = np.arange(batch)
+
+    for _ in range(iterations):
+        active_counts.append(int(active.size))
+        z_active = z[:, active]
+        x_active = x[:, active]
+        sigma = np.linalg.norm(z_active, axis=0) / np.sqrt(m)
+        tau = threshold_factor * sigma
+        pseudo_data = operator.rmatmat(z_active) + x_active
+        x_new = soft_threshold(pseudo_data, tau)
+        onsager = z_active * (np.count_nonzero(x_new, axis=0) / m)
+        z[:, active] = y[:, active] - operator.matmat(x_new) + onsager
+
+        for position, column in enumerate(active):
+            residual_norms[column].append(float(sigma[position]))
+            thresholds[column].append(float(tau[position]))
+        if truth is not None:
+            truth_active = truth[:, active]
+            errors = np.sum((x_new - truth_active) ** 2, axis=0) / np.sum(
+                truth_active**2, axis=0
+            )
+            for position, column in enumerate(active):
+                nmse_histories[column].append(float(errors[position]))
+
+        delta = np.linalg.norm(x_new - x_active, axis=0)
+        scale = np.linalg.norm(x_new, axis=0)
+        x[:, active] = x_new
+        iteration_counts[active] += 1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            relative = np.where(scale > 0, delta / np.where(scale > 0, scale, 1.0),
+                                np.inf)
+        done = (delta == 0.0) | (relative < tolerance)
+        if done.any():
+            converged[active[done]] = True
+            active = active[~done]
+            if active.size == 0:
+                break
+
+    return AmpBatchResult(
+        estimates=x,
+        iterations=iteration_counts,
+        converged=converged,
+        residual_norms=residual_norms,
+        nmse_histories=nmse_histories,
+        thresholds=thresholds,
+        active_counts=active_counts,
+    )

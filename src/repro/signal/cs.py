@@ -11,9 +11,10 @@ from repro.workloads.signals import (
     gaussian_measurement_matrix,
     measure,
     sparse_signal,
+    sparse_signal_batch,
 )
 
-__all__ = ["CsProblem"]
+__all__ = ["CsProblem", "CsProblemBatch"]
 
 
 @dataclass
@@ -86,6 +87,143 @@ class CsProblem:
         return cls(
             matrix=matrix,
             signal=signal,
+            measurements=measurements,
+            noise_std=noise_std,
+        )
+
+    @classmethod
+    def generate_batch(
+        cls,
+        n: int = 512,
+        m: int = 256,
+        k: int = 24,
+        batch: int = 8,
+        noise_std: float = 0.0,
+        amplitude: str = "gaussian",
+        seed: int | np.random.Generator | None = None,
+    ) -> "CsProblemBatch":
+        """Draw B instances sharing one measurement matrix.
+
+        Convenience alias for :meth:`CsProblemBatch.generate` — the
+        serving scenario where ``A`` is programmed once into a crossbar
+        and many users' signals are measured through it.
+        """
+        return CsProblemBatch.generate(
+            n=n, m=m, k=k, batch=batch, noise_std=noise_std,
+            amplitude=amplitude, seed=seed,
+        )
+
+
+@dataclass
+class CsProblemBatch:
+    """B compressed-sensing instances sharing one measurement matrix.
+
+    The batched counterpart of :class:`CsProblem` for the fleet-recovery
+    scenario (Sec. III.B.1): one matrix ``A`` — programmed once into the
+    crossbar — measures B independent sparse signals, and
+    :func:`~repro.signal.amp_recover_batch` recovers them together.
+
+    Attributes
+    ----------
+    matrix:
+        Shared measurement matrix ``A`` of shape ``(m, n)``.
+    signals:
+        Ground-truth block ``X0`` of shape ``(n, B)`` — one sparse
+        signal per column.
+    measurements:
+        Observed block ``Y`` of shape ``(m, B)``.
+    noise_std:
+        Standard deviation of the measurement noise ``w``.
+    """
+
+    matrix: np.ndarray
+    signals: np.ndarray
+    measurements: np.ndarray
+    noise_std: float
+
+    def __post_init__(self) -> None:
+        m, n = self.matrix.shape
+        if self.signals.ndim != 2 or self.signals.shape[0] != n:
+            raise ValueError("signals must have shape (n, B)")
+        batch = self.signals.shape[1]
+        if batch < 1:
+            raise ValueError("batch must contain at least one signal")
+        if self.measurements.shape != (m, batch):
+            raise ValueError("measurements must have shape (m, B)")
+        if m >= n:
+            raise ValueError("compressed sensing requires M < N")
+
+    @property
+    def m(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def batch(self) -> int:
+        return self.signals.shape[1]
+
+    @property
+    def sparsity(self) -> np.ndarray:
+        """Per-column non-zero counts of the ground-truth block."""
+        return np.count_nonzero(self.signals, axis=0)
+
+    @property
+    def undersampling(self) -> float:
+        """The measurement rate delta = M / N (shared by every column)."""
+        return self.m / self.n
+
+    def problem(self, column: int) -> CsProblem:
+        """One column as a standalone :class:`CsProblem` instance."""
+        if not 0 <= column < self.batch:
+            raise IndexError(f"column must lie in [0, {self.batch}), got {column}")
+        return CsProblem(
+            matrix=self.matrix,
+            signal=self.signals[:, column].copy(),
+            measurements=self.measurements[:, column].copy(),
+            noise_std=self.noise_std,
+        )
+
+    def recovery_nmse(self, estimates: np.ndarray) -> np.ndarray:
+        """Per-column NMSE of an ``(n, B)`` estimate block."""
+        estimates = np.asarray(estimates, dtype=float)
+        if estimates.shape != self.signals.shape:
+            raise ValueError(
+                f"estimates must have shape {self.signals.shape}, "
+                f"got {estimates.shape}"
+            )
+        reference = np.sum(self.signals**2, axis=0)
+        if np.any(reference == 0.0):
+            raise ValueError("reference signal has zero energy")
+        return np.sum((estimates - self.signals) ** 2, axis=0) / reference
+
+    @classmethod
+    def generate(
+        cls,
+        n: int = 512,
+        m: int = 256,
+        k: int = 24,
+        batch: int = 8,
+        noise_std: float = 0.0,
+        amplitude: str = "gaussian",
+        seed: int | np.random.Generator | None = None,
+    ) -> "CsProblemBatch":
+        """Draw one Gaussian matrix and B sparse signals measured by it.
+
+        The RNG stream is consumed matrix first, then the B signals in
+        column order (each exactly as :func:`sparse_signal` would draw
+        it), then the measurement noise — so column ``b`` of a batch is
+        reproducible from the shared stream.
+        """
+        rng = as_rng(seed)
+        matrix = gaussian_measurement_matrix(m, n, seed=rng)
+        signals = sparse_signal_batch(n, k, batch, amplitude=amplitude, seed=rng)
+        measurements = measure(matrix, signals, noise_std=noise_std, seed=rng)
+        return cls(
+            matrix=matrix,
+            signals=signals,
             measurements=measurements,
             noise_std=noise_std,
         )

@@ -21,7 +21,11 @@ from repro.workloads.images import edge_texture_image, add_gaussian_noise
 from repro.workloads.languages import LanguageCorpus
 from repro.workloads.sensors import SensoryTask
 from repro.workloads.shapes import OrientedPatternTask
-from repro.workloads.signals import gaussian_measurement_matrix, sparse_signal
+from repro.workloads.signals import (
+    gaussian_measurement_matrix,
+    sparse_signal,
+    sparse_signal_batch,
+)
 from repro.workloads.stars import STAR_CATALOG, star_bitmap_index
 from repro.workloads.tpch import generate_lineitem, query6_reference
 
@@ -37,5 +41,6 @@ __all__ = [
     "generate_lineitem",
     "query6_reference",
     "sparse_signal",
+    "sparse_signal_batch",
     "star_bitmap_index",
 ]

@@ -11,7 +11,12 @@ import numpy as np
 
 from repro._util import as_rng
 
-__all__ = ["sparse_signal", "gaussian_measurement_matrix", "measure"]
+__all__ = [
+    "sparse_signal",
+    "sparse_signal_batch",
+    "gaussian_measurement_matrix",
+    "measure",
+]
 
 
 def sparse_signal(
@@ -40,6 +45,29 @@ def sparse_signal(
     return signal
 
 
+def sparse_signal_batch(
+    n: int,
+    k: int,
+    batch: int,
+    amplitude: str = "gaussian",
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """A block of B independent k-sparse signals, shape ``(n, B)``.
+
+    Column ``b`` is drawn exactly as the ``b``-th sequential
+    :func:`sparse_signal` call on the same stream would draw it (each
+    column has its own random support), so batched problem generation
+    stays reproducible column-for-column.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    rng = as_rng(seed)
+    return np.stack(
+        [sparse_signal(n, k, amplitude=amplitude, seed=rng) for _ in range(batch)],
+        axis=1,
+    )
+
+
 def gaussian_measurement_matrix(
     m: int, n: int, seed: int | np.random.Generator | None = None
 ) -> np.ndarray:
@@ -60,7 +88,12 @@ def measure(
     noise_std: float = 0.0,
     seed: int | np.random.Generator | None = None,
 ) -> np.ndarray:
-    """Apply the observation model ``y = A x0 + w``."""
+    """Apply the observation model ``y = A x0 + w``.
+
+    ``signal`` may also be an ``(n, B)`` block of signals sharing the
+    matrix, in which case the result is the ``(m, B)`` measurement
+    block with i.i.d. noise per entry.
+    """
     if noise_std < 0:
         raise ValueError("noise_std must be non-negative")
     y = np.asarray(matrix) @ np.asarray(signal)

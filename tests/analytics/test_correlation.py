@@ -32,6 +32,29 @@ class TestCorrelatedProcesses:
         assert step.shape == (12,)
         assert set(np.unique(step)) <= {0, 1}
 
+    def test_run_matches_looped_step_bitwise(self):
+        """The vectorized history draw consumes the RNG stream exactly
+        as the per-step path does: same seed, same history."""
+        vectorized = CorrelatedProcesses(
+            24, correlated=[1, 5, 9], correlation=0.6, rate=0.1, seed=9
+        )
+        looped = CorrelatedProcesses(
+            24, correlated=[1, 5, 9], correlation=0.6, rate=0.1, seed=9
+        )
+        history = vectorized.run(300)
+        reference = np.stack([looped.step() for _ in range(300)])
+        np.testing.assert_array_equal(history, reference)
+
+    def test_run_then_step_continues_the_stream(self):
+        """run() leaves the generator exactly where the looped path
+        would, so mixed run/step usage stays reproducible."""
+        a = CorrelatedProcesses(12, correlated=3, seed=10)
+        b = CorrelatedProcesses(12, correlated=3, seed=10)
+        a.run(40)
+        for _ in range(40):
+            b.step()
+        np.testing.assert_array_equal(a.step(), b.step())
+
     def test_validation(self):
         with pytest.raises(ValueError):
             CorrelatedProcesses(1)

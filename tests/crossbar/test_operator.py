@@ -24,6 +24,30 @@ class TestDenseOperator:
         with pytest.raises(ValueError):
             DenseOperator(np.ones(4))
 
+    def test_matmat_rmatmat(self, small_matrix, rng):
+        op = DenseOperator(small_matrix)
+        x_block = rng.standard_normal((small_matrix.shape[1], 3))
+        z_block = rng.standard_normal((small_matrix.shape[0], 4))
+        assert np.allclose(op.matmat(x_block), small_matrix @ x_block)
+        assert np.allclose(op.rmatmat(z_block), small_matrix.T @ z_block)
+        # one logical read per input vector, as on the crossbar
+        assert op.n_matvec == 3 and op.n_rmatvec == 4
+        assert op.stats == {"n_matvec": 3, "n_rmatvec": 4}
+
+    def test_matmat_validation(self, small_matrix):
+        op = DenseOperator(small_matrix)
+        m, n = small_matrix.shape
+        with pytest.raises(ValueError):
+            op.matmat(np.zeros(n))  # 1-D belongs to matvec
+        with pytest.raises(ValueError):
+            op.matmat(np.zeros((m, 2)))  # wrong feature dimension
+        with pytest.raises(ValueError):
+            op.matmat(np.zeros((n, 0)))  # empty batch
+        with pytest.raises(ValueError):
+            op.rmatmat(np.zeros((n, 2)))
+        with pytest.raises(ValueError):
+            op.rmatmat(np.zeros((m, 0)))
+
 
 class TestIdealCrossbar:
     def test_matvec_exact_with_ideal_device(self, small_matrix, rng):

@@ -29,6 +29,26 @@ class TestSoftThreshold:
         assert value == pytest.approx(-mirrored)
         assert abs(value) <= abs(v)
 
+    def test_per_column_tau_vector(self):
+        """A length-B tau applies one threshold per column of a block."""
+        block = np.array([[3.0, 3.0], [-1.0, -1.0]])
+        out = soft_threshold(block, np.array([1.0, 2.0]))
+        assert np.allclose(out, [[2.0, 1.0], [0.0, 0.0]])
+
+    def test_tau_vector_matches_columnwise_scalar_calls(self):
+        rng = np.random.default_rng(0)
+        block = rng.standard_normal((16, 4))
+        tau = rng.uniform(0.0, 1.0, 4)
+        out = soft_threshold(block, tau)
+        for b in range(4):
+            np.testing.assert_array_equal(
+                out[:, b], soft_threshold(block[:, b], float(tau[b]))
+            )
+
+    def test_rejects_negative_tau_element(self):
+        with pytest.raises(ValueError):
+            soft_threshold(np.zeros((3, 2)), np.array([0.5, -0.1]))
+
 
 class TestExactRecovery:
     def test_noiseless_recovery_to_machine_precision(self):
@@ -98,6 +118,34 @@ class TestExactRecovery:
         )
         assert np.isfinite(result.final_nmse)
         assert result.final_nmse > 0.1
+
+    def test_zero_measurements_converge_at_zero_fixed_point(self):
+        """Regression: ``y = 0`` keeps the estimate at exactly zero, so
+        ``delta == 0`` with zero scale — this must count as converged
+        instead of looping to the iteration cap."""
+        problem = CsProblem.generate(n=64, m=32, k=4, seed=11)
+        result = amp_recover(
+            np.zeros(problem.m), DenseOperator(problem.matrix), problem.n
+        )
+        assert result.converged
+        assert result.iterations == 1
+        assert np.array_equal(result.estimate, np.zeros(problem.n))
+
+    def test_overaggressive_threshold_terminates_immediately(self):
+        """A threshold that zeroes every coefficient leaves the estimate
+        exactly unchanged (``delta == 0`` at the zero fixed point), so
+        the solver stops at once instead of spinning to the cap."""
+        problem = CsProblem.generate(n=64, m=32, k=4, seed=12)
+        result = amp_recover(
+            problem.measurements,
+            DenseOperator(problem.matrix),
+            problem.n,
+            iterations=200,
+            threshold_factor=1e6,
+        )
+        assert result.converged
+        assert result.iterations == 1
+        assert np.array_equal(result.estimate, np.zeros(problem.n))
 
     @pytest.mark.parametrize("bad", [{"iterations": 0}, {"threshold_factor": 0.0}])
     def test_parameter_validation(self, bad):
