@@ -18,6 +18,7 @@ from repro.arch.params import (
 )
 from repro.arch.sweep import (
     MissRateSweep,
+    banked_offload_rows,
     batch_offload_rows,
     miss_rate_sweep,
     offload_sweep,
@@ -31,6 +32,7 @@ __all__ = [
     "ConventionalParams",
     "CoreParams",
     "MissRateSweep",
+    "banked_offload_rows",
     "batch_offload_rows",
     "miss_rate_sweep",
     "offload_sweep",

@@ -17,7 +17,13 @@ from repro.arch.cim import CimArchitectureModel
 from repro.arch.conventional import ConventionalArchitectureModel
 from repro.arch.params import CimArchParams
 
-__all__ = ["MissRateSweep", "batch_offload_rows", "miss_rate_sweep", "offload_sweep"]
+__all__ = [
+    "MissRateSweep",
+    "banked_offload_rows",
+    "batch_offload_rows",
+    "miss_rate_sweep",
+    "offload_sweep",
+]
 
 
 @dataclass
@@ -222,6 +228,51 @@ def batch_offload_rows(
                 "parallel_energy_gain": conv_e / par_e,
                 "serial_cim_delay_ns": serial_d,
                 "parallel_cim_delay_ns": par_d,
+            }
+        )
+    return rows
+
+
+def banked_offload_rows(
+    bank_counts: tuple[int, ...] = (1, 4, 16, 64),
+    x_fraction: float = 0.6,
+    m1: float = 0.8,
+    m2: float = 0.8,
+    conventional: ConventionalArchitectureModel | None = None,
+    cim_params: CimArchParams | None = None,
+) -> list[dict[str, float]]:
+    """System speedup/energy-gain for intermediate converter-bank counts.
+
+    :func:`batch_offload_rows` evaluates the two readout endpoints —
+    one bank (serial, batch-invariant issue width) and one bank per
+    vector (fully parallel).  This sweep walks the continuum the k-bank
+    readout model opens: ``k`` converter banks multiply the CIM core's
+    effective issue width by ``k``, so each row reports the system-level
+    payoff of one intermediate deployment (``k = 1`` reproduces the
+    serial row of the batch sweep).
+    """
+    base = cim_params if cim_params is not None else CimArchParams()
+    conventional = conventional or ConventionalArchitectureModel()
+    conv_d = float(conventional.delay_per_instruction_ns(x_fraction, m1, m2))
+    conv_e = float(conventional.energy_per_instruction_pj(x_fraction, m1, m2))
+    rows = []
+    for banks in bank_counts:
+        if banks != int(banks) or banks < 1:
+            raise ValueError("bank counts must be integers >= 1")
+        widened = replace(
+            base,
+            cim=replace(base.cim, parallel_width=base.cim.parallel_width * int(banks)),
+        )
+        model = CimArchitectureModel(widened)
+        cim_d = float(model.delay_per_instruction_ns(x_fraction, m1, m2))
+        cim_e = float(model.energy_per_instruction_pj(x_fraction, m1, m2))
+        rows.append(
+            {
+                "banks": float(int(banks)),
+                "speedup": conv_d / cim_d,
+                "energy_gain": conv_e / cim_e,
+                "cim_delay_ns": cim_d,
+                "cim_energy_pj": cim_e,
             }
         )
     return rows

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import as_rng
-from repro.crossbar import CrossbarOperator
+from repro.crossbar import CrossbarOperator, ShardedOperator
 from repro.devices import BinaryMemristor, PcmDevice
 from repro.logic import BitwiseEngine
 
@@ -54,7 +54,7 @@ class CimAccelerator:
         self.dac_bits = dac_bits
         self.adc_bits = adc_bits
         self._bit_regions: dict[str, BitwiseEngine] = {}
-        self._matrix_regions: dict[str, CrossbarOperator] = {}
+        self._matrix_regions: dict[str, CrossbarOperator | ShardedOperator] = {}
 
     # -- region management -----------------------------------------------------
     def _check_free(self, name: str) -> None:
@@ -85,17 +85,57 @@ class CimAccelerator:
         self._bit_regions[name] = engine
         return engine
 
-    def store_matrix(self, name: str, matrix: np.ndarray, **operator_kwargs) -> CrossbarOperator:
-        """Create a matrix region programmed with ``matrix``."""
+    def store_matrix(
+        self,
+        name: str,
+        matrix: np.ndarray,
+        n_shards: int = 1,
+        batch_window: int | None = None,
+        schedule: str = "round_robin",
+        **operator_kwargs,
+    ) -> CrossbarOperator | ShardedOperator:
+        """Create a matrix region programmed with ``matrix``.
+
+        With the defaults the region is one crossbar operator.  Passing
+        ``batch_window`` (and optionally ``n_shards`` > 1) instead
+        builds a :class:`~repro.crossbar.ShardedOperator` fleet — the
+        same matrix programmed into ``n_shards`` replicas with batches
+        window-scheduled across them — which serves the identical
+        ``matmat``/``rmatmat`` protocol, so callers cannot tell the
+        difference except in capacity.
+        """
         self._check_free(name)
-        operator = CrossbarOperator(
-            matrix,
-            device=self.analog_device,
-            dac_bits=operator_kwargs.pop("dac_bits", self.dac_bits),
-            adc_bits=operator_kwargs.pop("adc_bits", self.adc_bits),
-            seed=self._rng,
-            **operator_kwargs,
-        )
+        if n_shards != int(n_shards) or n_shards < 1:
+            raise ValueError("n_shards must be an integer >= 1")
+        if batch_window is None and n_shards > 1:
+            raise ValueError("sharded regions need an explicit batch_window")
+        if batch_window is None and schedule != "round_robin":
+            raise ValueError(
+                "schedule applies to sharded regions; pass batch_window"
+            )
+        dac_bits = operator_kwargs.pop("dac_bits", self.dac_bits)
+        adc_bits = operator_kwargs.pop("adc_bits", self.adc_bits)
+        if batch_window is None:
+            operator: CrossbarOperator | ShardedOperator = CrossbarOperator(
+                matrix,
+                device=self.analog_device,
+                dac_bits=dac_bits,
+                adc_bits=adc_bits,
+                seed=self._rng,
+                **operator_kwargs,
+            )
+        else:
+            operator = ShardedOperator.from_matrix(
+                matrix,
+                n_shards=n_shards,
+                batch_window=batch_window,
+                schedule=schedule,
+                device=self.analog_device,
+                dac_bits=dac_bits,
+                adc_bits=adc_bits,
+                seed=self._rng,
+                **operator_kwargs,
+            )
         self._matrix_regions[name] = operator
         return operator
 
@@ -105,7 +145,7 @@ class CimAccelerator:
         except KeyError:
             raise KeyError(f"unknown bit region {name!r}") from None
 
-    def matrix_region(self, name: str) -> CrossbarOperator:
+    def matrix_region(self, name: str) -> CrossbarOperator | ShardedOperator:
         try:
             return self._matrix_regions[name]
         except KeyError:
@@ -140,8 +180,6 @@ class CimAccelerator:
                 f"batch for region {region!r} must be 2-D (features x batch), "
                 f"got {block.ndim}-D"
             )
-        if block.shape[1] == 0:
-            raise ValueError(f"batch for region {region!r} is empty")
         if block.shape[0] != expected:
             raise ValueError(
                 f"batch for region {region!r} must have {expected} rows, "

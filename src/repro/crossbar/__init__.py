@@ -16,6 +16,9 @@ Public API
   plus their batched forms ``matmat``/``rmatmat`` that drive 2-D
   voltage blocks (one input vector per column) with loop-equivalent
   conversion accounting.
+* :class:`ShardedOperator` — window-schedules batches larger than one
+  array's readout window across operator replicas (round-robin or
+  greedy-by-active-columns) with exactly merged conversion counters.
 * :class:`Dac` / :class:`Adc` — converter quantization models.
 * :func:`program_and_verify` — iterative conductance programming.
 """
@@ -32,6 +35,7 @@ from repro.crossbar.mixed_precision import (
 from repro.crossbar.nonidealities import apply_stuck_faults, ir_drop_factors
 from repro.crossbar.operator import CrossbarOperator, DenseOperator
 from repro.crossbar.programming import ProgrammingReport, program_and_verify
+from repro.crossbar.sharding import SHARD_SCHEDULES, ShardedOperator
 from repro.crossbar.tile import split_ranges
 
 __all__ = [
@@ -44,6 +48,8 @@ __all__ = [
     "DifferentialCoding",
     "MixedPrecisionSolver",
     "ProgrammingReport",
+    "SHARD_SCHEDULES",
+    "ShardedOperator",
     "SolveResult",
     "apply_stuck_faults",
     "ir_drop_factors",

@@ -70,12 +70,14 @@ class DenseOperator:
         block = np.asarray(block, dtype=float)
         if block.ndim != 2 or block.shape[0] != rows:
             raise ValueError(f"{name} must have shape ({rows}, B), got {block.shape}")
-        if block.shape[1] == 0:
-            raise ValueError(f"{name} must contain at least one column")
         return block
 
     def matmat(self, x_block: np.ndarray) -> np.ndarray:
-        """Exact ``A @ X`` for a block of input vectors (one per column)."""
+        """Exact ``A @ X`` for a block of input vectors (one per column).
+
+        An empty batch (``B = 0``) returns an empty block and counts
+        no reads, matching the crossbar operator's accounting.
+        """
         x_block = self._check_block(x_block, self.matrix.shape[1], "X")
         self.n_matvec += x_block.shape[1]
         return self.matrix @ x_block
@@ -373,14 +375,13 @@ class CrossbarOperator:
         would do), all-zero columns never touch the hardware (so DAC/ADC
         conversion counters equal ``B`` looped ``matvec`` calls), and
         tile partial sums accumulate digitally after the ADC exactly as
-        in the per-vector path.
+        in the per-vector path.  An empty batch (``B = 0``) returns an
+        empty block, never touches the hardware, and bills nothing.
         """
         x_block = np.asarray(x_block, dtype=float)
         m, n = self.shape
         if x_block.ndim != 2 or x_block.shape[0] != n:
             raise ValueError(f"X must have shape ({n}, B), got {x_block.shape}")
-        if x_block.shape[1] == 0:
-            raise ValueError("X must contain at least one column")
         self.n_matvec += x_block.shape[1]
 
         def tile_currents(voltages):
@@ -403,8 +404,6 @@ class CrossbarOperator:
         m, n = self.shape
         if z_block.ndim != 2 or z_block.shape[0] != m:
             raise ValueError(f"Z must have shape ({m}, B), got {z_block.shape}")
-        if z_block.shape[1] == 0:
-            raise ValueError("Z must contain at least one column")
         self.n_rmatvec += z_block.shape[1]
 
         def tile_currents(voltages):

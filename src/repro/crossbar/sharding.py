@@ -1,0 +1,268 @@
+"""Sharded multi-array fleet scheduler for batched crossbar traffic.
+
+One physical array digitizes at most a fixed number of batch columns per
+readout pass — its *batch window*.  Production fleets routinely exceed
+that window, so :class:`ShardedOperator` splits an ``(n, B)`` input
+block into per-array windows of at most ``batch_window`` columns and
+dispatches the windows across one or more operator replicas that share
+the same programmed matrix but keep independent device noise and
+conversion counters (the ISAAC-style multi-tile serving scenario).
+
+Two scheduling policies are provided:
+
+* ``"round_robin"`` — windows rotate across the shards in arrival
+  order (the cursor persists across calls, so successive requests keep
+  rotating instead of always starting at shard 0);
+* ``"greedy"`` — each window goes to the shard with the least
+  *active* (non-zero) columns dispatched so far, which balances real
+  device work under skewed traffic where many columns are zero.
+
+The scheduler preserves the operator protocol — ``matvec``/``rmatvec``,
+``matmat``/``rmatmat``, ``shape`` and ``stats`` — so every batched
+consumer (:func:`~repro.signal.amp_recover_batch`,
+:meth:`~repro.crossbar.MixedPrecisionSolver.solve_batch`,
+:meth:`~repro.core.CimAccelerator.matmat`, the HD
+:meth:`~repro.ml.hd.AssociativeMemory.classify_batch` operator path)
+accepts a sharded fleet transparently.  Two invariants make it safe to
+deploy (pinned by ``tests/integration/test_sharding_invariants.py``):
+
+* **result invariance** — every output column depends only on its own
+  input column, so on a deterministic backend the sharded result equals
+  the unsharded single-array result (bit-for-bit through quantizing
+  converters, and to gemm-width rounding on the exact float backend);
+* **counter invariance** — conversions are counted per live column, so
+  the merged fleet counters equal the single-array counters exactly and
+  :meth:`~repro.energy.CrossbarCostModel.energy_from_stats` prices the
+  whole fleet from :attr:`ShardedOperator.stats` unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_in
+from repro.crossbar.operator import CrossbarOperator, DenseOperator
+from repro.crossbar.tile import split_ranges
+
+__all__ = ["SHARD_SCHEDULES", "ShardedOperator"]
+
+SHARD_SCHEDULES = ("round_robin", "greedy")
+
+
+class ShardedOperator:
+    """Window-schedule batched reads across operator replicas.
+
+    Parameters
+    ----------
+    shards:
+        Operator replicas sharing one stored matrix — any objects with
+        the ``matvec``/``rmatvec``/``matmat``/``rmatmat``/``shape``/
+        ``stats`` protocol (:class:`CrossbarOperator` replicas,
+        :class:`DenseOperator` baselines, or a mix for A/B testing).
+        All shards must have the same shape.
+    batch_window:
+        Maximum batch columns one shard digitizes per dispatch — the
+        physical readout window of one array.
+    schedule:
+        ``"round_robin"`` or ``"greedy"`` (see module docstring).
+    """
+
+    def __init__(self, shards, batch_window: int, schedule: str = "round_robin") -> None:
+        shards = list(shards)
+        if not shards:
+            raise ValueError("at least one shard is required")
+        shape = shards[0].shape
+        reference = getattr(shards[0], "matrix", None)
+        for shard in shards[1:]:
+            if shard.shape != shape:
+                raise ValueError(
+                    f"all shards must share one shape; got {shard.shape} vs {shape}"
+                )
+            stored = getattr(shard, "matrix", None)
+            if (
+                reference is not None
+                and stored is not None
+                and not np.array_equal(reference, stored)
+            ):
+                raise ValueError(
+                    "all shards must store the same target matrix; the fleet "
+                    "contract (result invariance, merged-counter pricing) "
+                    "assumes identical replicas"
+                )
+        if batch_window != int(batch_window) or batch_window < 1:
+            raise ValueError("batch_window must be an integer >= 1")
+        check_in("schedule", schedule, SHARD_SCHEDULES)
+        self.shards = shards
+        self.batch_window = int(batch_window)
+        self.schedule = schedule
+        self._loads = [0] * len(shards)
+        self._cursor = 0
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        n_shards: int,
+        batch_window: int,
+        schedule: str = "round_robin",
+        backend: str = "crossbar",
+        seed: int | np.random.Generator | None = None,
+        **operator_kwargs,
+    ) -> "ShardedOperator":
+        """Build a fleet of replicas programmed with one matrix.
+
+        ``backend="crossbar"`` programs ``n_shards``
+        :class:`CrossbarOperator` replicas from one RNG stream (shared
+        target conductances, independent programming/read noise);
+        ``backend="exact"`` builds :class:`DenseOperator` baselines.
+        Extra keyword arguments go to the crossbar constructor.
+        """
+        check_in("backend", backend, ("crossbar", "exact"))
+        if n_shards != int(n_shards) or n_shards < 1:
+            raise ValueError("n_shards must be an integer >= 1")
+        if backend == "exact":
+            if operator_kwargs or seed is not None:
+                raise ValueError(
+                    "seed and operator keyword arguments apply to the "
+                    "crossbar backend only"
+                )
+            shards = [DenseOperator(matrix) for _ in range(int(n_shards))]
+        else:
+            rng = as_rng(seed)
+            shards = [
+                CrossbarOperator(matrix, seed=rng, **operator_kwargs)
+                for _ in range(int(n_shards))
+            ]
+        return cls(shards, batch_window, schedule=schedule)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.shards[0].shape
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The shared target matrix (every replica stores the same A)."""
+        return self.shards[0].matrix
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def loads(self) -> tuple[int, ...]:
+        """Active (non-zero) columns dispatched to each shard so far."""
+        return tuple(self._loads)
+
+    def window_spans(self, batch: int) -> list[tuple[int, int]]:
+        """The ``[start, stop)`` column windows a batch splits into."""
+        if batch < 0:
+            raise ValueError("batch must be non-negative")
+        if batch == 0:
+            return []
+        return split_ranges(batch, self.batch_window)
+
+    # -- scheduling ------------------------------------------------------------
+    def _pick_shard(self, active_columns: int) -> int:
+        """Choose the shard for one window and record its load."""
+        if self.schedule == "round_robin":
+            index = self._cursor % len(self.shards)
+            self._cursor += 1
+        else:  # greedy-by-active-columns, lowest index breaks ties
+            index = min(range(len(self.shards)), key=lambda i: (self._loads[i], i))
+        self._loads[index] += active_columns
+        return index
+
+    def _assign(self, block: np.ndarray) -> list[np.ndarray]:
+        """Per-shard column index arrays for one dispatched block."""
+        per_shard: list[list[np.ndarray]] = [[] for _ in self.shards]
+        for start, stop in self.window_spans(block.shape[1]):
+            active = int(np.count_nonzero(np.any(block[:, start:stop] != 0.0, axis=0)))
+            per_shard[self._pick_shard(active)].append(np.arange(start, stop))
+        return [
+            np.concatenate(columns) if columns else np.empty(0, dtype=int)
+            for columns in per_shard
+        ]
+
+    # -- products --------------------------------------------------------------
+    def _dispatch(self, block, in_dim: int, out_dim: int, method: str, name: str):
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2 or block.shape[0] != in_dim:
+            raise ValueError(f"{name} must have shape ({in_dim}, B), got {block.shape}")
+        out = np.zeros((out_dim, block.shape[1]))
+        if block.shape[1] == 0:
+            return out
+        for shard, columns in zip(self.shards, self._assign(block)):
+            if columns.size:
+                out[:, columns] = getattr(shard, method)(block[:, columns])
+        return out
+
+    def matmat(self, x_block: np.ndarray) -> np.ndarray:
+        """``A @ X`` with the batch window-scheduled across the fleet.
+
+        Each shard digitizes all of its windows as one contiguous
+        dispatch, so a fleet call costs ``O(windows per shard)`` array
+        passes instead of one pass per column.  Column results and
+        conversion counts are independent of the assignment.
+        """
+        m, n = self.shape
+        return self._dispatch(x_block, n, m, "matmat", "X")
+
+    def rmatmat(self, z_block: np.ndarray) -> np.ndarray:
+        """``A.T @ Z`` window-scheduled across the fleet."""
+        m, n = self.shape
+        return self._dispatch(z_block, m, n, "rmatmat", "Z")
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Single-vector read, scheduled as a width-1 window."""
+        x = np.asarray(x, dtype=float)
+        m, n = self.shape
+        if x.shape != (n,):
+            raise ValueError(f"x must have shape ({n},), got {x.shape}")
+        shard = self.shards[self._pick_shard(int(np.any(x != 0.0)))]
+        return shard.matvec(x)
+
+    def rmatvec(self, z: np.ndarray) -> np.ndarray:
+        """Single-vector transpose read, scheduled as a width-1 window."""
+        z = np.asarray(z, dtype=float)
+        m, n = self.shape
+        if z.shape != (m,):
+            raise ValueError(f"z must have shape ({m},), got {z.shape}")
+        shard = self.shards[self._pick_shard(int(np.any(z != 0.0)))]
+        return shard.rmatvec(z)
+
+    # -- maintenance -----------------------------------------------------------
+    def advance_time(self, seconds: float) -> None:
+        """Drift every replica that models drift (exact shards don't)."""
+        for shard in self.shards:
+            if hasattr(shard, "advance_time"):
+                shard.advance_time(seconds)
+
+    # -- accounting ------------------------------------------------------------
+    @property
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-replica counter dictionaries, in shard order."""
+        return [dict(shard.stats) for shard in self.shards]
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Merged fleet counters (key-wise sums over the replicas).
+
+        Conversions are counted per live column on every shard, so the
+        merged DAC/ADC/live-read totals equal what one array running the
+        whole batch would have counted — ``energy_from_stats`` prices
+        the fleet without knowing it was sharded.  (Capacity keys such
+        as ``n_devices``/``n_tiles`` sum too, and report the fleet's
+        total silicon.)
+        """
+        merged: dict[str, int] = {}
+        for shard in self.shards:
+            for key, value in shard.stats.items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedOperator(shape={self.shape}, shards={self.n_shards}, "
+            f"batch_window={self.batch_window}, schedule={self.schedule!r})"
+        )

@@ -19,6 +19,7 @@ from repro.energy.crossbar_cost import (
     READOUT_SCHEDULES,
     BatchReadout,
     CrossbarCostModel,
+    sharded_readout_rows,
 )
 from repro.energy.fpga import FpgaMvmDesign
 from repro.energy.hd_asic import HdModuleCosts, HdProcessorModel
@@ -37,4 +38,5 @@ __all__ = [
     "HdProcessorModel",
     "iot_batch_rows",
     "iot_energy_rows",
+    "sharded_readout_rows",
 ]

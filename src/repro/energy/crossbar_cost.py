@@ -17,24 +17,43 @@ under two readout schedules:
   is digitized within a single cycle at the cost of B times the ADC
   area and B times the peak power.
 
+The two named schedules are the endpoints of a continuum: every
+batch-pricing API also accepts ``banks=k`` (1 <= k <= B), deploying k
+converter banks (and k array copies) that digitize the batch in
+``ceil(B / k)`` cycles, each bank time-multiplexing ``ceil(B / k)``
+vectors through an input mux of that depth.  ``banks=1`` reproduces the
+serial numbers and ``banks=B`` the parallel numbers bit-for-bit; the
+optional per-level mux energy/area fractions (default 0, which keeps
+the published anchors exact) let design sweeps charge the mux tree.
+
 Conversion energy follows the Walden figure of merit (energy per
-conversion independent of sample rate), so the two schedules spend the
-*same* energy on a batch; they trade latency against converter area and
-peak power.  :meth:`CrossbarCostModel.energy_from_stats` additionally
-prices a real :class:`~repro.crossbar.operator.CrossbarOperator` run
-from its DAC/ADC conversion counters, charging for conversions actually
-performed instead of assuming full standalone MVM cycles.
+conversion independent of sample rate), so all bank counts spend the
+*same* converter energy on a batch; they trade latency against
+converter area and peak power.
+:meth:`CrossbarCostModel.energy_from_stats` additionally prices a real
+:class:`~repro.crossbar.operator.CrossbarOperator` run from its DAC/ADC
+conversion counters, charging for conversions actually performed
+instead of assuming full standalone MVM cycles, and
+:func:`sharded_readout_rows` sweeps a shard-count x bank-count grid for
+fleets scheduled by
+:class:`~repro.crossbar.sharding.ShardedOperator`.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro._util import check_in, check_positive
 from repro.energy.adc import AdcModel
 
-__all__ = ["BatchReadout", "CrossbarCostModel", "READOUT_SCHEDULES"]
+__all__ = [
+    "BatchReadout",
+    "CrossbarCostModel",
+    "READOUT_SCHEDULES",
+    "sharded_readout_rows",
+]
 
 READOUT_SCHEDULES = ("serial", "parallel")
 
@@ -44,6 +63,35 @@ def check_batch_schedule(batch: int, schedule: str) -> None:
     if batch != int(batch) or batch < 1:
         raise ValueError("batch must be an integer >= 1")
     check_in("schedule", schedule, READOUT_SCHEDULES)
+
+
+def resolve_banks(
+    batch: int, schedule: str | None = None, banks: int | None = None
+) -> tuple[int, str]:
+    """Normalize a (schedule, banks) request to ``(banks, label)``.
+
+    Exactly one of ``schedule``/``banks`` may be given (neither means
+    the serial default).  ``banks`` must be an integer in ``[1, B]``;
+    the returned label is ``"serial"`` at one bank, ``"parallel"`` at B
+    banks and ``"banked"`` in between, so the endpoints stay
+    indistinguishable from the named schedules.
+    """
+    if batch != int(batch) or batch < 1:
+        raise ValueError("batch must be an integer >= 1")
+    if banks is None:
+        schedule = "serial" if schedule is None else schedule
+        check_in("schedule", schedule, READOUT_SCHEDULES)
+        return (1 if schedule == "serial" else int(batch)), schedule
+    if schedule is not None:
+        raise ValueError("pass either schedule or banks, not both")
+    if banks != int(banks) or not 1 <= banks <= batch:
+        raise ValueError(f"banks must be an integer in [1, {int(batch)}], got {banks!r}")
+    banks = int(banks)
+    if banks == 1:
+        return banks, "serial"
+    if banks == batch:
+        return banks, "parallel"
+    return banks, "banked"
 
 
 @dataclass(frozen=True)
@@ -63,17 +111,25 @@ class BatchReadout:
     device_energy_j: float
     adc_energy_j: float
     adc_banks: int
-    """Converter banks in flight (1 for serial reuse, B for parallel)."""
+    """Converter banks in flight (1 for serial reuse, B for parallel,
+    k for an intermediate ``banks=k`` deployment)."""
     array_copies: int
     """Crossbar arrays needed for the concurrency (equal to the banks)."""
     adc_area_m2: float
     array_area_m2: float
     peak_power_w: float
+    mux_depth: int = 1
+    """Vectors each bank time-multiplexes (``ceil(batch / banks)``)."""
+    mux_energy_j: float = 0.0
+    """Energy of the bank input-mux trees (0 unless the model charges a
+    per-level mux fraction)."""
+    mux_area_m2: float = 0.0
+    """Area of the bank input-mux trees."""
 
     @property
     def total_area_m2(self) -> float:
-        """Silicon cost of the schedule: replicated arrays plus ADCs."""
-        return self.array_area_m2 + self.adc_area_m2
+        """Silicon cost of the schedule: arrays, ADCs and mux trees."""
+        return self.array_area_m2 + self.adc_area_m2 + self.mux_area_m2
 
     @property
     def energy_per_mvm_j(self) -> float:
@@ -110,6 +166,16 @@ class CrossbarCostModel:
     """Energy of one DAC drive event as a fraction of one ADC
     conversion (same ratio the IoT study uses); only enters the
     counter-driven accounting, not the published single-MVM anchors."""
+    mux_energy_per_level_fraction: float = 0.0
+    """Per-vector energy of one bank input-mux level, as a fraction of
+    that vector's ADC digitization energy.  A bank multiplexing
+    ``d = ceil(B / k)`` vectors charges ``d - 1`` levels per vector, so
+    the default of 0 — and any value at ``d = 1`` — keeps the published
+    serial/parallel endpoints bit-for-bit exact."""
+    mux_area_per_level_fraction: float = 0.0
+    """Per-bank area of one input-mux level, as a fraction of one ADC
+    bank's area (same endpoint-preserving convention as the energy
+    fraction)."""
 
     def __post_init__(self) -> None:
         if self.rows < 1 or self.cols < 1 or self.n_adcs < 1:
@@ -118,6 +184,10 @@ class CrossbarCostModel:
             raise ValueError("devices_per_cell must be >= 1")
         if self.dac_energy_fraction < 0:
             raise ValueError("dac_energy_fraction must be non-negative")
+        if self.mux_energy_per_level_fraction < 0:
+            raise ValueError("mux_energy_per_level_fraction must be non-negative")
+        if self.mux_area_per_level_fraction < 0:
+            raise ValueError("mux_area_per_level_fraction must be non-negative")
         check_positive("avg_read_current_a", self.avg_read_current_a)
         check_positive("avg_read_voltage_v", self.avg_read_voltage_v)
         check_positive("cycle_time_s", self.cycle_time_s)
@@ -165,55 +235,110 @@ class CrossbarCostModel:
         """Device energy of one full array read (one MVM's worth)."""
         return self.device_power_w * self.cycle_time_s
 
-    def converter_banks(self, batch: int, schedule: str = "serial") -> int:
-        """ADC banks in flight for a batch-B matmat on this schedule."""
-        check_batch_schedule(batch, schedule)
-        return 1 if schedule == "serial" else int(batch)
+    def converter_banks(
+        self, batch: int, schedule: str | None = None, banks: int | None = None
+    ) -> int:
+        """ADC banks in flight for a batch-B matmat."""
+        return resolve_banks(batch, schedule, banks)[0]
 
-    def matmat_latency_s(self, batch: int, schedule: str = "serial") -> float:
+    def readout_mux_depth(
+        self, batch: int, schedule: str | None = None, banks: int | None = None
+    ) -> int:
+        """Vectors each bank time-multiplexes: ``ceil(batch / banks)``."""
+        k, _ = resolve_banks(batch, schedule, banks)
+        return math.ceil(int(batch) / k)
+
+    def matmat_latency_s(
+        self, batch: int, schedule: str | None = None, banks: int | None = None
+    ) -> float:
         """Wall time of a batch-B matmat.
 
-        Serial peripheral reuse digitizes the batch back-to-back (B
-        cycles); parallel converters digitize every vector concurrently
-        (one cycle, B converter banks).
+        k converter banks digitize the batch in ``ceil(B / k)`` cycles:
+        serial peripheral reuse (one bank) runs back-to-back in B
+        cycles, parallel converters (B banks) finish in one cycle, and
+        intermediate bank counts interpolate.
         """
-        check_batch_schedule(batch, schedule)
-        if schedule == "serial":
-            return batch * self.cycle_time_s
-        return self.cycle_time_s
+        return self.readout_mux_depth(batch, schedule, banks) * self.cycle_time_s
 
-    def matmat_energy_j(self, batch: int, schedule: str = "serial") -> float:
+    def readout_mux_energy_j(
+        self, batch: int, schedule: str | None = None, banks: int | None = None
+    ) -> float:
+        """Energy of the bank input-mux trees for one batch-B matmat.
+
+        Each of the B vectors traverses ``depth - 1`` mux levels on its
+        way into a bank, each level costing
+        :attr:`mux_energy_per_level_fraction` of one vector's ADC
+        digitization energy.  Zero at the parallel endpoint (depth 1)
+        and, with the default fractions, everywhere.
+        """
+        depth = self.readout_mux_depth(batch, schedule, banks)
+        per_vector_adc = self.adc_power_w * self.cycle_time_s
+        return (
+            int(batch)
+            * (depth - 1)
+            * self.mux_energy_per_level_fraction
+            * per_vector_adc
+        )
+
+    def readout_mux_area_m2(
+        self, batch: int, schedule: str | None = None, banks: int | None = None
+    ) -> float:
+        """Area of the bank input-mux trees: ``depth - 1`` levels per
+        bank, each a :attr:`mux_area_per_level_fraction` of one ADC
+        bank's area."""
+        k, _ = resolve_banks(batch, schedule, banks)
+        depth = self.readout_mux_depth(batch, banks=k)
+        return k * (depth - 1) * self.mux_area_per_level_fraction * self.adc_area_m2
+
+    def matmat_energy_j(
+        self, batch: int, schedule: str | None = None, banks: int | None = None
+    ) -> float:
         """Energy of a batch-B matmat.
 
         Every vector needs a full device read plus ``cols`` conversions
-        regardless of schedule, and the Walden conversion energy is
-        sample-rate independent, so both schedules charge the same
-        energy; the serial schedule at B = 1 reproduces
-        :attr:`mvm_energy_j` (the paper's ~222 nJ anchor).
+        regardless of bank count, and the Walden conversion energy is
+        sample-rate independent, so all deployments charge the same
+        base energy (plus any configured mux-tree overhead); the serial
+        schedule at B = 1 reproduces :attr:`mvm_energy_j` (the paper's
+        ~222 nJ anchor).
         """
-        check_batch_schedule(batch, schedule)
-        return batch * self.mvm_energy_j
+        k, _ = resolve_banks(batch, schedule, banks)
+        return batch * self.mvm_energy_j + self.readout_mux_energy_j(
+            batch, banks=k
+        )
 
-    def batch_readout(self, batch: int, schedule: str = "serial") -> BatchReadout:
-        """Full latency/energy/area report of one batch-B matmat."""
-        check_batch_schedule(batch, schedule)
-        banks = self.converter_banks(batch, schedule)
-        latency = self.matmat_latency_s(batch, schedule)
+    def batch_readout(
+        self, batch: int, schedule: str | None = None, banks: int | None = None
+    ) -> BatchReadout:
+        """Full latency/energy/area report of one batch-B matmat.
+
+        Pass a named ``schedule`` for the endpoints or ``banks=k`` for
+        an intermediate deployment; ``banks=1`` and ``banks=B``
+        reproduce the serial and parallel reports bit-for-bit.
+        """
+        k, label = resolve_banks(batch, schedule, banks)
+        depth = self.readout_mux_depth(batch, banks=k)
+        latency = self.matmat_latency_s(batch, banks=k)
         device = batch * self.device_read_energy_j
         adc = batch * self.adc_power_w * self.cycle_time_s
-        energy = device + adc
+        mux_energy = self.readout_mux_energy_j(batch, banks=k)
+        energy = device + adc + mux_energy
+        mux_area = self.readout_mux_area_m2(batch, banks=k)
         return BatchReadout(
             batch=int(batch),
-            schedule=schedule,
+            schedule=label,
             latency_s=latency,
             energy_j=energy,
             device_energy_j=device,
             adc_energy_j=adc,
-            adc_banks=banks,
-            array_copies=banks,
-            adc_area_m2=banks * self.adc_area_m2,
-            array_area_m2=banks * self.array_area_m2,
+            adc_banks=k,
+            array_copies=k,
+            adc_area_m2=k * self.adc_area_m2,
+            array_area_m2=k * self.array_area_m2,
             peak_power_w=energy / latency,
+            mux_depth=depth,
+            mux_energy_j=mux_energy,
+            mux_area_m2=mux_area,
         )
 
     # -- counter-driven accounting ---------------------------------------------
@@ -290,3 +415,83 @@ class CrossbarCostModel:
         """How many times lower this unit's per-MVM energy is."""
         check_positive("competitor_energy_j", competitor_energy_j)
         return competitor_energy_j / self.mvm_energy_j
+
+
+def sharded_readout_rows(
+    batch: int,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    bank_counts: tuple[int, ...] = (1, 2, 4),
+    model: CrossbarCostModel | None = None,
+    batch_window: int | None = None,
+) -> list[dict[str, float]]:
+    """Fleet readout cost over a shard-count x bank-count grid.
+
+    Prices a batch-B matmat dispatched by a
+    :class:`~repro.crossbar.sharding.ShardedOperator`-style scheduler:
+    ``s`` array shards run concurrently, each digitizing its share of
+    the batch through ``k`` converter banks.  Without ``batch_window``
+    the batch is assumed to split evenly (``ceil`` split); with it, the
+    shares follow the scheduler's actual round-robin dispatch of
+    ``batch_window``-column windows, so ragged window/shard
+    combinations price the true slowest shard.  Per row: fleet latency
+    is the slowest shard's, energies sum, areas and peak powers sum
+    over the concurrent shards.  ``shards=1, banks=1`` reproduces
+    today's serial schedule and ``shards=1, banks=B`` the parallel
+    schedule.
+
+    Requested bank counts are capped at each shard's share (a shard
+    never deploys more banks than it has vectors) and shards beyond the
+    batch sit idle; each row therefore reports both the *requested*
+    ``shards``/``banks`` and the ``shards_active``/``banks_effective``
+    actually engaged, and prices only the engaged silicon — idle shards
+    and capped-away banks cost nothing in this readout sweep.
+    """
+    if batch != int(batch) or batch < 1:
+        raise ValueError("batch must be an integer >= 1")
+    if batch_window is not None and (
+        batch_window != int(batch_window) or batch_window < 1
+    ):
+        raise ValueError("batch_window must be an integer >= 1 or None")
+    model = model if model is not None else CrossbarCostModel()
+    batch = int(batch)
+    rows = []
+    for shards in shard_counts:
+        if shards != int(shards) or shards < 1:
+            raise ValueError("shard counts must be integers >= 1")
+        shards = int(shards)
+        if batch_window is None:
+            base, extra = divmod(batch, shards)
+            shares = [base + (1 if i < extra else 0) for i in range(shards)]
+        else:
+            window = int(batch_window)
+            widths = [
+                min(window, batch - start) for start in range(0, batch, window)
+            ]
+            shares = [sum(widths[i::shards]) for i in range(shards)]
+        shares = [share for share in shares if share > 0]
+        for banks in bank_counts:
+            if banks != int(banks) or banks < 1:
+                raise ValueError("bank counts must be integers >= 1")
+            banks = int(banks)
+            reports = [
+                model.batch_readout(share, banks=min(banks, share))
+                for share in shares
+            ]
+            latency = max(report.latency_s for report in reports)
+            rows.append(
+                {
+                    "batch": float(batch),
+                    "shards": float(shards),
+                    "shards_active": float(len(shares)),
+                    "banks": float(banks),
+                    "banks_effective": float(max(r.adc_banks for r in reports)),
+                    "latency_s": latency,
+                    "latency_cycles": latency / model.cycle_time_s,
+                    "mux_depth": float(max(r.mux_depth for r in reports)),
+                    "energy_j": sum(r.energy_j for r in reports),
+                    "total_area_m2": sum(r.total_area_m2 for r in reports),
+                    "peak_power_w": sum(r.peak_power_w for r in reports),
+                    "throughput_mvm_per_s": batch / latency,
+                }
+            )
+    return rows

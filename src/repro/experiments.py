@@ -21,9 +21,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analytics import QuerySelect
-from repro.arch import miss_rate_sweep
+from repro.arch import banked_offload_rows, miss_rate_sweep
 from repro.core.report import format_series, format_table
-from repro.crossbar import CrossbarOperator, DenseOperator
+from repro.crossbar import CrossbarOperator, DenseOperator, ShardedOperator
 from repro.devices import BinaryMemristor
 from repro.energy import (
     CrossbarCostModel,
@@ -31,6 +31,7 @@ from repro.energy import (
     HdProcessorModel,
     iot_batch_rows,
     iot_energy_rows,
+    sharded_readout_rows,
 )
 from repro.imaging import NeighborhoodAccessModel, bilateral_filter, guided_filter
 from repro.logic import ScoutingLogic
@@ -152,7 +153,24 @@ def _delay_plane_table(x_fraction: float) -> str:
 def fig3_report() -> ExperimentResult:
     """Normalized delay planes for X in {30, 60, 90} %."""
     sweeps = {x: miss_rate_sweep(x) for x in (0.3, 0.6, 0.9)}
-    text = "\n\n".join(_delay_plane_table(x) for x in sweeps)
+    banked = banked_offload_rows(bank_counts=(1, 4, 16, 64))
+    banked_table = format_table(
+        ("ADC banks", "speedup", "energy gain", "CIM delay [ns]"),
+        [
+            (
+                int(row["banks"]),
+                f"{row['speedup']:.2f}x",
+                f"{row['energy_gain']:.2f}x",
+                f"{row['cim_delay_ns']:.2f}",
+            )
+            for row in banked
+        ],
+        title=(
+            "k-bank CIM readout (X = 60 %, m1 = m2 = 0.8): intermediate "
+            "converter-bank counts between the serial/parallel endpoints:"
+        ),
+    )
+    text = "\n\n".join(_delay_plane_table(x) for x in sweeps) + "\n\n" + banked_table
     return ExperimentResult(
         name="fig3",
         text=text,
@@ -163,6 +181,8 @@ def fig3_report() -> ExperimentResult:
             "conv_peak_x30": float(sweeps[0.3].conventional_delay_norm.max()),
             "conv_peak_x60": float(sweeps[0.6].conventional_delay_norm.max()),
             "cim_ever_slower_x30": float(sweeps[0.3].cim_ever_slower),
+            "banked_speedup_k1": banked[0]["speedup"],
+            "banked_speedup_k16": banked[2]["speedup"],
         },
     )
 
@@ -267,9 +287,37 @@ def table1_report() -> ExperimentResult:
             "schedules trade latency against converter area):"
         ),
     )
+
+    # k-bank continuum between the endpoints, with a charged mux tree
+    # (5 % of a vector's ADC energy and 10 % of a bank's area per mux
+    # level) so the depth/area trade-off is visible; the bit-for-bit
+    # endpoint anchors above use the default (mux-free) model.
+    muxed = CrossbarCostModel(
+        mux_energy_per_level_fraction=0.05, mux_area_per_level_fraction=0.10
+    )
+    bank_reports = [muxed.batch_readout(batch, banks=k) for k in (1, 4, 16, 64)]
+    banked_table = format_table(
+        ("banks", "mux depth", "latency", "energy / batch", "area", "peak power"),
+        [
+            (
+                report.adc_banks,
+                report.mux_depth,
+                f"{report.latency_s * 1e6:.0f} us",
+                f"{report.energy_j * 1e6:.1f} uJ",
+                f"{report.total_area_m2 * 1e6:.3f} mm^2",
+                f"{report.peak_power_w:.2f} W",
+            )
+            for report in bank_reports
+        ],
+        title=(
+            f"Batch-{batch} k-bank readout (1 < banks < B continuum; mux "
+            "tree charged per level):"
+        ),
+    )
     return ExperimentResult(
         name="table1",
-        text=resource + "\n\n" + comparison + "\n\n" + batch_table,
+        text=resource + "\n\n" + comparison + "\n\n" + batch_table + "\n\n"
+        + banked_table,
         metrics={
             "fpga_latency_ns": fpga.mvm_latency_s() * 1e9,
             "fpga_energy_uj": fpga.mvm_energy_j() * 1e6,
@@ -283,6 +331,11 @@ def table1_report() -> ExperimentResult:
             "batch64_serial_latency_us": serial.latency_s * 1e6,
             "batch64_parallel_latency_us": parallel.latency_s * 1e6,
             "batch64_fpga_energy_uj": fpga.matmat_energy_j(batch) * 1e6,
+            "batch64_banks16_latency_us": xbar.matmat_latency_s(batch, banks=16)
+            * 1e6,
+            "batch64_banks16_mux_depth": float(
+                xbar.readout_mux_depth(batch, banks=16)
+            ),
         },
     )
 
@@ -337,15 +390,23 @@ def fig5_report(size: int = 64, seed: int = 0) -> ExperimentResult:
         title="Sec. III.A: neighbourhood gather, scratchpad vs CIM-P decoder:",
     )
     gains = [row["energy_gain"] for row in model.comparison_rows(size, size)]
+    burst = model.cim_burst(size, size, radius=4, burst=8)
+    per_pixel = model.cim(size, size, radius=4)
+    burst_line = (
+        f"row-burst decoder (9x9 window, burst 8): "
+        f"{burst.accesses:.3g} activations vs {per_pixel.accesses:.3g} "
+        f"per-pixel, {per_pixel.energy_j / burst.energy_j:.2f}x less energy"
+    )
     return ExperimentResult(
         name="fig5",
-        text=behaviour + "\n\n" + access,
+        text=behaviour + "\n\n" + access + "\n" + burst_line,
         metrics={
             "input_noise": measured["noisy input"][0],
             "guided_noise": measured["guided"][0],
             "guided_edge": measured["guided"][1],
             "access_gain_7x7": gains[0],
             "access_gain_11x11": gains[-1],
+            "burst8_energy_gain": per_pixel.energy_j / burst.energy_j,
         },
     )
 
@@ -431,6 +492,61 @@ def fig6_report(
     )
     counted_b1 = sized.energy_from_stats(operator_b1.stats)
 
+    # Sharded fleet: the same batch window-scheduled across two array
+    # replicas (ragged windows), recovered by the identical solver and
+    # priced from the *merged* fleet counters — the energy layer cannot
+    # tell a sharded run from a single-array run.
+    n_shards = 2
+    batch_window = max(1, (batch + 2) // 3)  # three windows, ragged tail
+    sharded = ShardedOperator.from_matrix(
+        problem.matrix,
+        n_shards=n_shards,
+        batch_window=batch_window,
+        dac_bits=8,
+        adc_bits=8,
+        seed=seed + 4,
+    )
+    sharded_recovered = amp_recover_batch(
+        fleet.measurements,
+        sharded,
+        n,
+        iterations=iterations,
+        ground_truth=fleet.signals,
+    )
+    counted_sharded = sized.energy_from_stats(sharded.stats)
+    sharded_nmse = sharded_recovered.final_nmse
+    fleet_rows = sharded_readout_rows(
+        batch,
+        shard_counts=(1, 2, 4),
+        bank_counts=(1, 2, batch),
+        model=sized,
+        batch_window=batch_window,  # price the real round-robin dispatch
+    )
+    def banks_cell(row):
+        requested, effective = int(row["banks"]), int(row["banks_effective"])
+        if requested == effective:
+            return str(requested)
+        return f"{requested} (capped {effective})"
+
+    fleet_table = format_table(
+        ("shards", "banks / shard", "latency", "energy / batch", "area"),
+        [
+            (
+                int(row["shards"]),
+                banks_cell(row),
+                f"{row['latency_s'] * 1e6:.0f} us",
+                f"{row['energy_j'] * 1e6:.2f} uJ",
+                f"{row['total_area_m2'] * 1e6:.4f} mm^2",
+            )
+            for row in fleet_rows
+        ],
+        title=(
+            f"Shard x bank sweep for one batch-{batch} readout of this "
+            "array (shards run concurrently; energy is schedule-"
+            "invariant, latency and silicon trade off):"
+        ),
+    )
+
     batch_table = format_table(
         ("schedule", "read cycles", "latency / fleet", "ADC banks",
          "energy / fleet"),
@@ -491,6 +607,15 @@ def fig6_report(
             f"B=1 twin reproduces the single recovery: "
             f"{counted_b1['total_energy_j'] * 1e6:.3f} uJ"
         ),
+        "",
+        fleet_table,
+        (
+            f"sharded fleet ({n_shards} shards, window {batch_window}): "
+            f"NMSE mean {float(np.mean(sharded_nmse)):.1e}, merged-counter "
+            f"energy {counted_sharded['total_energy_j'] * 1e6:.3f} uJ "
+            f"({int(counted_sharded['n_live_reads'])} live reads across "
+            f"{sharded.n_shards} arrays)"
+        ),
     ]
     return ExperimentResult(
         name="fig6",
@@ -515,6 +640,15 @@ def fig6_report(
             "batch_serial_latency_us": serial_latency * 1e6,
             "batch_parallel_latency_us": parallel_latency * 1e6,
             "batch_b1_energy_uj": counted_b1["total_energy_j"] * 1e6,
+            "sharded_shards": float(n_shards),
+            "sharded_batch_window": float(batch_window),
+            "sharded_mean_nmse": float(np.mean(sharded_nmse)),
+            "sharded_energy_uj": counted_sharded["total_energy_j"] * 1e6,
+            "fleet_s2_k2_latency_cycles": next(
+                row["latency_cycles"]
+                for row in fleet_rows
+                if row["shards"] == 2 and row["banks"] == 2
+            ),
         },
     )
 

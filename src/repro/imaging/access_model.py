@@ -18,7 +18,10 @@ This model counts the traffic both ways:
   times per output.
 * **CIM-P** — the modified address decoder activates the whole
   neighbourhood in one macro access per window row group, charging one
-  array activation per window row plus per-bit sensing energy.
+  array activation per window row plus per-bit sensing energy.  The
+  row-burst variant (:meth:`NeighborhoodAccessModel.cim_burst`) amortizes
+  each activation over a burst of horizontally adjacent outputs instead
+  of streaming per pixel.
 """
 
 from __future__ import annotations
@@ -119,6 +122,40 @@ class NeighborhoodAccessModel:
         return AccessReport(
             accesses=activations, energy_j=energy, time_s=time
         )
+
+    def cim_burst(
+        self, height: int, width: int, radius: int, burst: int = 1
+    ) -> AccessReport:
+        """Row-burst CIM-P gather: one activation serves a whole burst.
+
+        Instead of streaming per output pixel, the modified address
+        decoder activates the *union* window row of ``burst``
+        horizontally adjacent outputs — ``2r + burst`` pixels wide — so
+        a row of ``W`` outputs needs ``ceil(W / burst)`` activations per
+        window row instead of ``W``.  Sensing energy is still charged
+        per bit actually delivered (the union rows of a ragged final
+        burst are narrower).  ``burst = 1`` reproduces :meth:`cim`
+        exactly, access for access and joule for joule.
+        """
+        self._validate(height, width, radius)
+        if burst != int(burst) or burst < 1:
+            raise ValueError("burst must be an integer >= 1")
+        burst = int(burst)
+        rows_per_window = 2 * radius + 1
+        groups_per_row = -(-width // burst)  # ceil division, ragged tail
+        activations = height * groups_per_row * rows_per_window
+        # Each group's union row spans (2r + group width) pixels; over a
+        # full image row the group widths sum to W exactly.
+        sensed_pixels = height * rows_per_window * (
+            groups_per_row * 2 * radius + width
+        )
+        sensed_bits = sensed_pixels * self.bits_per_pixel
+        energy = (
+            activations * self.cim_activation_energy_pj
+            + sensed_bits * self.cim_bit_sense_energy_pj
+        ) * 1e-12
+        time = activations * self.cim_activation_time_ns * 1e-9
+        return AccessReport(accesses=activations, energy_j=energy, time_s=time)
 
     def comparison_rows(
         self, height: int, width: int, radii: tuple[int, ...] = (3, 4, 5)

@@ -185,6 +185,30 @@ def _check_amp_parameters(n: int, m: int, iterations: int,
         raise ValueError("threshold_factor must be positive")
 
 
+def _check_stagnation(stagnation_window: int | None,
+                      stagnation_tolerance: float) -> None:
+    if stagnation_window is not None and (
+        stagnation_window != int(stagnation_window) or stagnation_window < 1
+    ):
+        raise ValueError("stagnation_window must be an integer >= 1 or None")
+    if stagnation_tolerance < 0:
+        raise ValueError("stagnation_tolerance must be non-negative")
+
+
+def _residual_stalled(history: list[float], window: int, tolerance: float) -> bool:
+    """True when the residual level stopped improving over ``window``.
+
+    Compares this iteration's residual (``history[-1]``) against the one
+    ``window`` iterations ago: an improvement of at most ``tolerance``
+    (relative) — including any *worsening*, the signature of estimates
+    jittering at the device-noise floor — counts as stagnation.
+    """
+    if len(history) <= window:
+        return False
+    past = history[-1 - window]
+    return past - history[-1] <= tolerance * past
+
+
 def amp_recover(
     measurements: np.ndarray,
     operator,
@@ -193,6 +217,8 @@ def amp_recover(
     threshold_factor: float = 1.3,
     ground_truth: np.ndarray | None = None,
     tolerance: float = 1e-8,
+    stagnation_window: int | None = None,
+    stagnation_tolerance: float = 0.05,
 ) -> AmpResult:
     """Recover a sparse signal from ``y = A x0 + w`` using AMP.
 
@@ -217,10 +243,18 @@ def amp_recover(
         this between iterations.  An exactly unchanged estimate
         (``delta == 0``, e.g. the zero fixed point reached from
         ``y = 0``) always counts as converged.
+    stagnation_window / stagnation_tolerance:
+        Residual-stagnation stopping rule, off by default.  On a noisy
+        crossbar the iterate-change rule never fires — estimates jitter
+        at the device-noise floor forever — so with a window set, the
+        run also stops once the residual level ``||z_t|| / sqrt(M)``
+        has improved by less than ``stagnation_tolerance`` (relative)
+        over the last ``stagnation_window`` iterations.
     """
     y = np.asarray(measurements, dtype=float)
     m = y.shape[0]
     _check_amp_parameters(n, m, iterations, threshold_factor)
+    _check_stagnation(stagnation_window, stagnation_tolerance)
 
     x = np.zeros(n)
     z = y.copy()
@@ -240,7 +274,10 @@ def amp_recover(
         delta = float(np.linalg.norm(x_new - x))
         scale = float(np.linalg.norm(x_new))
         x = x_new
-        if delta == 0.0 or (scale > 0 and delta / scale < tolerance):
+        stalled = stagnation_window is not None and _residual_stalled(
+            result.residual_norms, stagnation_window, stagnation_tolerance
+        )
+        if delta == 0.0 or (scale > 0 and delta / scale < tolerance) or stalled:
             result.converged = True
             break
     result.estimate = x
@@ -255,6 +292,8 @@ def amp_recover_batch(
     threshold_factor: float = 1.3,
     ground_truth: np.ndarray | None = None,
     tolerance: float = 1e-8,
+    stagnation_window: int | None = None,
+    stagnation_tolerance: float = 0.05,
 ) -> AmpBatchResult:
     """Recover B sparse signals sharing one measurement matrix with AMP.
 
@@ -296,6 +335,13 @@ def amp_recover_batch(
         Optional ``(n, B)`` block of true signals for NMSE tracking.
     tolerance:
         Per-column stopping rule, as in :func:`amp_recover`.
+    stagnation_window / stagnation_tolerance:
+        Per-column residual-stagnation rule, as in :func:`amp_recover`
+        (off by default): a column whose residual level has improved by
+        less than ``stagnation_tolerance`` over the last
+        ``stagnation_window`` of *its own* iterations retires from the
+        working set, so noisy-backend fleets stop paying for columns
+        that sit at the device-noise floor.
     """
     y = np.asarray(measurements, dtype=float)
     if y.ndim != 2:
@@ -307,6 +353,7 @@ def amp_recover_batch(
     if batch < 1:
         raise ValueError("measurements must contain at least one column")
     _check_amp_parameters(n, m, iterations, threshold_factor)
+    _check_stagnation(stagnation_window, stagnation_tolerance)
     truth = None
     if ground_truth is not None:
         truth = np.asarray(ground_truth, dtype=float)
@@ -356,7 +403,13 @@ def amp_recover_batch(
         with np.errstate(divide="ignore", invalid="ignore"):
             relative = np.where(scale > 0, delta / np.where(scale > 0, scale, 1.0),
                                 np.inf)
-        done = (delta == 0.0) | (relative < tolerance)
+        stalled = np.zeros(active.size, dtype=bool)
+        if stagnation_window is not None:
+            for position, column in enumerate(active):
+                stalled[position] = _residual_stalled(
+                    residual_norms[column], stagnation_window, stagnation_tolerance
+                )
+        done = (delta == 0.0) | (relative < tolerance) | stalled
         if done.any():
             converged[active[done]] = True
             active = active[~done]

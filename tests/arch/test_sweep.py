@@ -122,3 +122,36 @@ class TestBatchOffload:
     def test_rejects_bad_batch(self):
         with pytest.raises(ValueError):
             batch_offload_rows(batches=(0,))
+
+
+class TestBankedOffload:
+    def test_k1_reproduces_the_serial_row(self):
+        from repro.arch import banked_offload_rows
+
+        (serial,) = banked_offload_rows(bank_counts=(1,))
+        rows = batch_offload_rows(batches=(1,))
+        assert serial["speedup"] == pytest.approx(rows[0]["serial_speedup"])
+        assert serial["energy_gain"] == pytest.approx(
+            rows[0]["serial_energy_gain"]
+        )
+
+    def test_max_banks_reproduces_the_parallel_row(self):
+        from repro.arch import banked_offload_rows
+
+        rows = batch_offload_rows(batches=(64,))
+        (banked,) = banked_offload_rows(bank_counts=(64,))
+        assert banked["speedup"] == pytest.approx(rows[0]["parallel_speedup"])
+
+    def test_speedup_monotone_in_banks(self):
+        from repro.arch import banked_offload_rows
+
+        rows = banked_offload_rows(bank_counts=(1, 4, 16, 64))
+        speedups = [row["speedup"] for row in rows]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > speedups[0]
+
+    def test_validation(self):
+        from repro.arch import banked_offload_rows
+
+        with pytest.raises(ValueError, match="bank counts"):
+            banked_offload_rows(bank_counts=(0,))

@@ -42,11 +42,15 @@ class TestDenseOperator:
         with pytest.raises(ValueError):
             op.matmat(np.zeros((m, 2)))  # wrong feature dimension
         with pytest.raises(ValueError):
-            op.matmat(np.zeros((n, 0)))  # empty batch
-        with pytest.raises(ValueError):
             op.rmatmat(np.zeros((n, 2)))
-        with pytest.raises(ValueError):
-            op.rmatmat(np.zeros((m, 0)))
+
+    def test_empty_batch_returns_empty_and_counts_nothing(self, small_matrix):
+        """B = 0 is a legal degenerate fleet: empty result, zero reads."""
+        op = DenseOperator(small_matrix)
+        m, n = small_matrix.shape
+        assert op.matmat(np.zeros((n, 0))).shape == (m, 0)
+        assert op.rmatmat(np.zeros((m, 0))).shape == (n, 0)
+        assert op.stats == {"n_matvec": 0, "n_rmatvec": 0}
 
 
 class TestIdealCrossbar:

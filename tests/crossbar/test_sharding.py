@@ -1,0 +1,206 @@
+"""Unit tests of the sharded fleet scheduler (window logic, policies).
+
+The cross-layer equivalence invariants live in
+``tests/integration/test_sharding_invariants.py``; this file pins the
+scheduler mechanics: window splitting, round-robin rotation,
+greedy-by-active-columns balancing, protocol validation and counter
+merging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarOperator, DenseOperator, ShardedOperator
+from repro.devices import PcmDevice
+
+
+class TestConstruction:
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            ShardedOperator([], batch_window=4)
+
+    def test_rejects_mismatched_shapes(self, rng):
+        a = DenseOperator(rng.standard_normal((4, 6)))
+        b = DenseOperator(rng.standard_normal((4, 7)))
+        with pytest.raises(ValueError, match="share one shape"):
+            ShardedOperator([a, b], batch_window=4)
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5])
+    def test_rejects_bad_window(self, bad, rng):
+        shard = DenseOperator(rng.standard_normal((4, 6)))
+        with pytest.raises(ValueError, match="batch_window"):
+            ShardedOperator([shard], batch_window=bad)
+
+    def test_rejects_bad_schedule(self, rng):
+        shard = DenseOperator(rng.standard_normal((4, 6)))
+        with pytest.raises(ValueError, match="schedule"):
+            ShardedOperator([shard], batch_window=2, schedule="random")
+
+    def test_from_matrix_validation(self, small_matrix):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedOperator.from_matrix(small_matrix, n_shards=0, batch_window=4)
+        with pytest.raises(ValueError, match="backend"):
+            ShardedOperator.from_matrix(
+                small_matrix, n_shards=1, batch_window=4, backend="gpu"
+            )
+        with pytest.raises(ValueError, match="crossbar backend"):
+            ShardedOperator.from_matrix(
+                small_matrix, n_shards=1, batch_window=4, backend="exact", seed=3,
+                dac_bits=4,
+            )
+
+    def test_exposes_shape_matrix_and_shard_count(self, small_matrix):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=3, batch_window=4, backend="exact"
+        )
+        assert fleet.shape == small_matrix.shape
+        assert fleet.n_shards == 3
+        np.testing.assert_array_equal(fleet.matrix, small_matrix)
+
+
+class TestWindows:
+    def test_window_spans_even_ragged_and_degenerate(self, small_matrix):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=2, batch_window=3, backend="exact"
+        )
+        assert fleet.window_spans(6) == [(0, 3), (3, 6)]
+        assert fleet.window_spans(8) == [(0, 3), (3, 6), (6, 8)]  # ragged
+        assert fleet.window_spans(2) == [(0, 2)]  # B < batch_window
+        assert fleet.window_spans(0) == []
+        with pytest.raises(ValueError):
+            fleet.window_spans(-1)
+
+
+class TestScheduling:
+    def test_round_robin_rotates_across_calls(self, small_matrix, rng):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=2, batch_window=2, backend="exact"
+        )
+        n = small_matrix.shape[1]
+        fleet.matmat(rng.standard_normal((n, 4)))  # windows 0, 1
+        assert [s.n_matvec for s in fleet.shards] == [2, 2]
+        fleet.matmat(rng.standard_normal((n, 2)))  # cursor continues at 2
+        assert [s.n_matvec for s in fleet.shards] == [4, 2]
+        fleet.matmat(rng.standard_normal((n, 2)))
+        assert [s.n_matvec for s in fleet.shards] == [4, 4]
+
+    def test_greedy_balances_by_active_columns(self, small_matrix):
+        """Zero columns carry no device work: the greedy policy must
+        route subsequent windows to the shard that has done the least
+        *live* work, not the least windows."""
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=2, batch_window=2, schedule="greedy",
+            backend="exact",
+        )
+        n = small_matrix.shape[1]
+        block = np.ones((n, 6))
+        block[:, 0:2] = 0.0  # window 0 is all dead
+        fleet.matmat(block)
+        # window 0 (0 live) -> shard 0; window 1 (2 live) -> shard 1
+        # (shard 0 still at load 0); window 2 (2 live) -> shard 0.
+        assert fleet.loads == (2, 2)
+        assert [s.n_matvec for s in fleet.shards] == [4, 2]
+
+    def test_matvec_routes_like_a_width_one_window(self, small_matrix, rng):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=2, batch_window=4, backend="exact"
+        )
+        m, n = small_matrix.shape
+        x = rng.standard_normal(n)
+        z = rng.standard_normal(m)
+        np.testing.assert_allclose(fleet.matvec(x), small_matrix @ x)
+        np.testing.assert_allclose(fleet.rmatvec(z), small_matrix.T @ z)
+        assert [s.n_matvec for s in fleet.shards] == [1, 0]
+        assert [s.n_rmatvec for s in fleet.shards] == [0, 1]
+        with pytest.raises(ValueError):
+            fleet.matvec(np.zeros(n + 1))
+        with pytest.raises(ValueError):
+            fleet.rmatvec(np.zeros(m + 1))
+
+    def test_dispatch_validates_blocks(self, small_matrix):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=2, batch_window=4, backend="exact"
+        )
+        m, n = small_matrix.shape
+        with pytest.raises(ValueError, match="X"):
+            fleet.matmat(np.zeros((n + 1, 3)))
+        with pytest.raises(ValueError, match="Z"):
+            fleet.rmatmat(np.zeros((m + 1, 3)))
+        with pytest.raises(ValueError, match="X"):
+            fleet.matmat(np.zeros(n))
+
+
+class TestAccounting:
+    def test_stats_merge_sums_every_key(self, small_matrix, rng):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix,
+            n_shards=2,
+            batch_window=2,
+            device=PcmDevice.ideal(),
+            seed=0,
+        )
+        n = small_matrix.shape[1]
+        fleet.matmat(rng.standard_normal((n, 4)))
+        merged = fleet.stats
+        per_shard = fleet.shard_stats
+        for key in merged:
+            assert merged[key] == sum(stats[key] for stats in per_shard)
+        # capacity keys report the fleet total
+        assert merged["n_devices"] == 2 * 2 * small_matrix.size
+
+    def test_replicas_share_programming_but_not_noise(self, rng):
+        """Noisy replicas store the same target matrix but independent
+        programming-noise realizations — physically distinct arrays."""
+        matrix = rng.standard_normal((10, 12))
+        fleet = ShardedOperator.from_matrix(
+            matrix, n_shards=2, batch_window=4, seed=7
+        )
+        a, b = fleet.shards
+        np.testing.assert_array_equal(a.matrix, b.matrix)
+        g_a = a._tiles[(0, 0)].positive.conductance
+        g_b = b._tiles[(0, 0)].positive.conductance
+        assert not np.array_equal(g_a, g_b)
+
+    def test_advance_time_reaches_every_replica(self, rng):
+        matrix = rng.standard_normal((8, 8))
+        fleet = ShardedOperator.from_matrix(
+            matrix, n_shards=2, batch_window=4, seed=0
+        )
+        fleet.advance_time(1e5)
+        for shard in fleet.shards:
+            assert shard._tiles[(0, 0)].positive.age_seconds == 1e5
+        # exact shards have no clock; advance_time must still be safe
+        dense = ShardedOperator.from_matrix(
+            matrix, n_shards=2, batch_window=4, backend="exact"
+        )
+        dense.advance_time(1e5)
+
+    def test_mixed_shard_kinds_are_allowed(self, rng):
+        """The protocol is duck-typed: a dense baseline can ride along
+        a crossbar replica for A/B comparison."""
+        matrix = rng.standard_normal((8, 10))
+        fleet = ShardedOperator(
+            [
+                DenseOperator(matrix),
+                CrossbarOperator(matrix, device=PcmDevice.ideal(), seed=0),
+            ],
+            batch_window=2,
+        )
+        result = fleet.matmat(rng.standard_normal((10, 4)))
+        assert result.shape == (8, 4)
+        assert fleet.stats["n_matvec"] == 4
+
+
+class TestReplicaConsistency:
+    def test_rejects_shards_with_different_matrices(self, rng):
+        a = DenseOperator(rng.standard_normal((4, 6)))
+        b = DenseOperator(rng.standard_normal((4, 6)))
+        with pytest.raises(ValueError, match="same target matrix"):
+            ShardedOperator([a, b], batch_window=2)
+
+    def test_exact_backend_rejects_stray_seed(self, small_matrix):
+        with pytest.raises(ValueError, match="crossbar backend"):
+            ShardedOperator.from_matrix(
+                small_matrix, n_shards=2, batch_window=4, backend="exact",
+                seed=5,
+            )

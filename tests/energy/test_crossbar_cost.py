@@ -231,3 +231,159 @@ class TestAdcModel:
     def test_rejects_bad_rate(self):
         with pytest.raises(ValueError):
             AdcModel().power_w(0.0)
+
+
+class TestBankedReadout:
+    """The banks=k continuum between the serial/parallel endpoints."""
+
+    def test_latency_is_ceil_b_over_k_cycles(self):
+        model = CrossbarCostModel()
+        assert model.matmat_latency_s(64, banks=16) == pytest.approx(
+            4 * model.cycle_time_s
+        )
+        assert model.matmat_latency_s(7, banks=2) == pytest.approx(
+            4 * model.cycle_time_s  # ragged: ceil(7 / 2)
+        )
+        assert model.readout_mux_depth(64, banks=16) == 4
+        assert model.readout_mux_depth(7, banks=2) == 4
+
+    def test_area_and_peak_power_scale_with_banks(self):
+        model = CrossbarCostModel()
+        report = model.batch_readout(64, banks=8)
+        assert report.adc_banks == 8 and report.array_copies == 8
+        assert report.adc_area_m2 == pytest.approx(8 * model.adc_area_m2)
+        assert report.array_area_m2 == pytest.approx(8 * model.array_area_m2)
+        assert report.peak_power_w == pytest.approx(8 * model.total_power_w)
+        assert report.schedule == "banked"
+
+    def test_energy_is_bank_invariant_without_mux_overhead(self):
+        model = CrossbarCostModel()
+        energies = {
+            k: model.matmat_energy_j(64, banks=k) for k in (1, 4, 16, 64)
+        }
+        assert len(set(energies.values())) == 1
+
+    def test_mux_tree_charges_per_level(self):
+        model = CrossbarCostModel(
+            mux_energy_per_level_fraction=0.05, mux_area_per_level_fraction=0.10
+        )
+        report = model.batch_readout(64, banks=16)  # depth 4 -> 3 levels
+        per_vector_adc = model.adc_power_w * model.cycle_time_s
+        assert report.mux_depth == 4
+        assert report.mux_energy_j == pytest.approx(64 * 3 * 0.05 * per_vector_adc)
+        assert report.mux_area_m2 == pytest.approx(16 * 3 * 0.10 * model.adc_area_m2)
+        assert report.energy_j == pytest.approx(
+            report.device_energy_j + report.adc_energy_j + report.mux_energy_j
+        )
+        assert report.total_area_m2 == pytest.approx(
+            report.array_area_m2 + report.adc_area_m2 + report.mux_area_m2
+        )
+        # fully parallel banks have depth 1: no mux, even when charged
+        assert model.batch_readout(64, banks=64).mux_energy_j == 0.0
+
+    def test_mux_overhead_interpolates_between_endpoints(self):
+        """With a charged mux, deeper time-multiplexing costs more
+        energy — monotone in depth."""
+        model = CrossbarCostModel(mux_energy_per_level_fraction=0.05)
+        energies = [model.matmat_energy_j(64, banks=k) for k in (64, 16, 4, 1)]
+        assert energies == sorted(energies)
+
+    def test_validation(self):
+        model = CrossbarCostModel()
+        with pytest.raises(ValueError, match="banks"):
+            model.batch_readout(8, banks=0)
+        with pytest.raises(ValueError, match="banks"):
+            model.batch_readout(8, banks=9)
+        with pytest.raises(ValueError, match="banks"):
+            model.batch_readout(8, banks=2.5)
+        with pytest.raises(ValueError, match="either schedule or banks"):
+            model.batch_readout(8, "serial", banks=2)
+        with pytest.raises(ValueError):
+            CrossbarCostModel(mux_energy_per_level_fraction=-0.1)
+        with pytest.raises(ValueError):
+            CrossbarCostModel(mux_area_per_level_fraction=-0.1)
+
+
+class TestShardedReadoutRows:
+    def test_single_shard_endpoints_reproduce_schedules(self):
+        from repro.energy import sharded_readout_rows
+
+        model = CrossbarCostModel()
+        rows = sharded_readout_rows(64, shard_counts=(1,), bank_counts=(1, 64),
+                                    model=model)
+        serial = model.batch_readout(64, "serial")
+        parallel = model.batch_readout(64, "parallel")
+        assert rows[0]["latency_s"] == serial.latency_s
+        assert rows[0]["energy_j"] == serial.energy_j
+        assert rows[0]["total_area_m2"] == serial.total_area_m2
+        assert rows[1]["latency_s"] == parallel.latency_s
+        assert rows[1]["energy_j"] == parallel.energy_j
+
+    def test_shards_cut_latency_and_multiply_silicon(self):
+        from repro.energy import sharded_readout_rows
+
+        rows = sharded_readout_rows(64, shard_counts=(1, 2, 4),
+                                    bank_counts=(1,))
+        latencies = [row["latency_s"] for row in rows]
+        areas = [row["total_area_m2"] for row in rows]
+        energies = [row["energy_j"] for row in rows]
+        assert latencies == sorted(latencies, reverse=True)
+        assert areas == sorted(areas)
+        # energy is schedule-invariant: the same 64 vectors are read
+        assert energies[0] == pytest.approx(energies[1]) == pytest.approx(
+            energies[2]
+        )
+
+    def test_ragged_split_and_bank_capping(self):
+        from repro.energy import sharded_readout_rows
+
+        model = CrossbarCostModel()
+        (row,) = sharded_readout_rows(7, shard_counts=(3,), bank_counts=(4,),
+                                      model=model)
+        # shares are 3, 2, 2; banks capped at each share
+        assert row["latency_cycles"] == 1.0
+        assert row["energy_j"] == pytest.approx(7 * model.mvm_energy_j)
+        # the row reports both the requested and the engaged bank count
+        assert row["banks"] == 4.0
+        assert row["banks_effective"] == 3.0
+
+    def test_idle_shards_are_reported_not_priced(self):
+        """More shards than batch columns: the surplus shards sit idle;
+        the row says so and prices only the engaged arrays."""
+        from repro.energy import sharded_readout_rows
+
+        model = CrossbarCostModel()
+        (row,) = sharded_readout_rows(2, shard_counts=(4,), bank_counts=(1,),
+                                      model=model)
+        assert row["shards"] == 4.0
+        assert row["shards_active"] == 2.0
+        # two engaged single-bank shards' silicon, not four
+        assert row["total_area_m2"] == pytest.approx(2 * model.total_area_m2)
+
+    def test_validation(self):
+        from repro.energy import sharded_readout_rows
+
+        with pytest.raises(ValueError):
+            sharded_readout_rows(0)
+        with pytest.raises(ValueError, match="shard counts"):
+            sharded_readout_rows(8, shard_counts=(0,))
+        with pytest.raises(ValueError, match="bank counts"):
+            sharded_readout_rows(8, bank_counts=(0,))
+
+    def test_window_aware_shares_follow_round_robin_dispatch(self):
+        """With batch_window set, the sweep prices the scheduler's real
+        round-robin window assignment, not an idealized even split."""
+        from repro.energy import sharded_readout_rows
+
+        model = CrossbarCostModel()
+        # batch 8, window 3 -> widths [3, 3, 2]; 2 shards get 5 and 3
+        (row,) = sharded_readout_rows(
+            8, shard_counts=(2,), bank_counts=(1,), model=model, batch_window=3
+        )
+        assert row["latency_cycles"] == 5.0  # slowest shard, not ceil(8/2)
+        (even,) = sharded_readout_rows(
+            8, shard_counts=(2,), bank_counts=(1,), model=model
+        )
+        assert even["latency_cycles"] == 4.0
+        with pytest.raises(ValueError, match="batch_window"):
+            sharded_readout_rows(8, batch_window=0)

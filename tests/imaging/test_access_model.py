@@ -81,3 +81,63 @@ class TestValidation:
         )
         assert model.conventional(8, 8, 3).energy_j > 0
         assert model.cim(8, 8, 3).energy_j > 0
+
+
+class TestCimBurst:
+    def test_burst_one_reproduces_per_pixel_exactly(self):
+        """The row-burst path at burst size 1 is the per-pixel decoder,
+        joule for joule and access for access."""
+        model = NeighborhoodAccessModel()
+        for radius in (1, 3, 5):
+            per_pixel = model.cim(10, 13, radius)
+            burst = model.cim_burst(10, 13, radius, burst=1)
+            assert burst.accesses == per_pixel.accesses
+            assert burst.energy_j == per_pixel.energy_j
+            assert burst.time_s == per_pixel.time_s
+
+    def test_activations_amortize_over_the_burst(self):
+        model = NeighborhoodAccessModel()
+        report = model.cim_burst(10, 16, radius=3, burst=4)
+        # 4 groups per image row, 7 window rows per group
+        assert report.accesses == 10 * 4 * 7
+
+    def test_ragged_final_burst(self):
+        """Width not divisible by the burst: the tail group is narrower
+        and senses fewer union pixels."""
+        model = NeighborhoodAccessModel()
+        report = model.cim_burst(1, 10, radius=1, burst=4)
+        # groups of widths 4, 4, 2 -> 3 activation groups x 3 window rows
+        assert report.accesses == 3 * 3
+        # union rows span (2r + width_g): 6 + 6 + 4 pixels per window row
+        expected_bits = 3 * (6 + 6 + 4) * model.bits_per_pixel
+        expected = (
+            report.accesses * model.cim_activation_energy_pj
+            + expected_bits * model.cim_bit_sense_energy_pj
+        ) * 1e-12
+        assert report.energy_j == pytest.approx(expected)
+
+    def test_energy_monotone_in_burst_size(self):
+        model = NeighborhoodAccessModel()
+        energies = [
+            model.cim_burst(32, 32, radius=4, burst=b).energy_j
+            for b in (1, 2, 4, 8, 32)
+        ]
+        assert energies == sorted(energies, reverse=True)
+        assert energies[-1] < energies[0]
+
+    def test_burst_beats_per_pixel_and_conventional(self):
+        model = NeighborhoodAccessModel()
+        conv = model.conventional(64, 64, 4)
+        per_pixel = model.cim(64, 64, 4)
+        burst = model.cim_burst(64, 64, 4, burst=8)
+        assert burst.energy_j < per_pixel.energy_j < conv.energy_j
+        assert burst.time_s < per_pixel.time_s
+
+    def test_validation(self):
+        model = NeighborhoodAccessModel()
+        with pytest.raises(ValueError, match="burst"):
+            model.cim_burst(8, 8, 3, burst=0)
+        with pytest.raises(ValueError, match="burst"):
+            model.cim_burst(8, 8, 3, burst=2.5)
+        with pytest.raises(ValueError):
+            model.cim_burst(0, 8, 3, burst=2)

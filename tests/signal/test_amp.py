@@ -181,3 +181,80 @@ class TestCrossbarRecovery:
         amp_recover(problem.measurements, operator, problem.n, iterations=5)
         stats = operator.stats
         assert stats["n_matvec"] == 5 and stats["n_rmatvec"] == 5
+
+
+class TestStagnationRule:
+    """Residual-stagnation stopping (the device-noise-floor detector)."""
+
+    def test_noisy_recovery_retires_before_the_cap(self):
+        """On a noisy crossbar the iterate-change rule never fires —
+        with the stagnation rule the run stops once the residual level
+        plateaus, at unchanged recovery quality."""
+        problem = CsProblem.generate(n=128, m=64, k=6, noise_std=0.0, seed=0)
+        baseline = amp_recover(
+            problem.measurements,
+            CrossbarOperator(problem.matrix, seed=1),
+            problem.n,
+            iterations=30,
+            ground_truth=problem.signal,
+        )
+        assert not baseline.converged
+        assert baseline.iterations == 30
+        ruled = amp_recover(
+            problem.measurements,
+            CrossbarOperator(problem.matrix, seed=1),
+            problem.n,
+            iterations=30,
+            ground_truth=problem.signal,
+            stagnation_window=4,
+        )
+        assert ruled.converged
+        assert ruled.iterations < 30
+        assert ruled.final_nmse < 5e-2
+
+    def test_rule_is_off_by_default(self):
+        """Without a window the signature addition must not change any
+        trajectory: identical runs with and without the defaults."""
+        problem = CsProblem.generate(n=64, m=32, k=4, noise_std=0.0, seed=2)
+        plain = amp_recover(
+            problem.measurements, DenseOperator(problem.matrix), problem.n,
+            iterations=20,
+        )
+        explicit = amp_recover(
+            problem.measurements, DenseOperator(problem.matrix), problem.n,
+            iterations=20, stagnation_window=None, stagnation_tolerance=0.05,
+        )
+        np.testing.assert_array_equal(plain.estimate, explicit.estimate)
+        assert plain.iterations == explicit.iterations
+
+    def test_worsening_residual_counts_as_stalled(self):
+        """The rule compares against the residual a window ago, so a
+        residual that got *worse* (pure jitter) also stops the run."""
+        problem = CsProblem.generate(n=128, m=64, k=6, noise_std=0.0, seed=3)
+        ruled = amp_recover(
+            problem.measurements,
+            CrossbarOperator(problem.matrix, seed=4),
+            problem.n,
+            iterations=30,
+            stagnation_window=3,
+            stagnation_tolerance=0.0,  # only a strict worsening stops
+        )
+        assert ruled.converged
+        assert ruled.iterations < 30
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"stagnation_window": 0},
+            {"stagnation_window": 2.5},
+            {"stagnation_window": -3},
+            {"stagnation_tolerance": -0.1},
+        ],
+    )
+    def test_parameter_validation(self, bad):
+        problem = CsProblem.generate(n=32, m=16, k=2, noise_std=0.0, seed=5)
+        with pytest.raises(ValueError, match="stagnation"):
+            amp_recover(
+                problem.measurements, DenseOperator(problem.matrix), problem.n,
+                **bad,
+            )
