@@ -12,7 +12,12 @@ Run:  python examples/compressed_sensing.py
 import numpy as np
 
 from repro.core import format_series, format_table
-from repro.crossbar import CrossbarOperator, DenseOperator, ShardedOperator
+from repro.crossbar import (
+    CrossbarOperator,
+    DenseOperator,
+    FleetMaintenance,
+    ShardedOperator,
+)
 from repro.energy import CrossbarCostModel, FpgaMvmDesign
 from repro.signal import CsProblem, amp_recover, amp_recover_batch
 
@@ -127,4 +132,49 @@ print(
     f"  per-shard active columns {list(sharded.loads)}; merged-counter "
     f"energy {priced['total_energy_j'] * 1e6:.2f} uJ "
     f"({priced['total_energy_j'] / big_fleet.batch * 1e6:.3f} uJ / signal)"
+)
+
+# --- fleet lifecycle: drift, staleness, scheduled recalibration ---------------
+# PCM conductances relax over time, so a fleet left serving for a week
+# drifts out of calibration and recovery quality collapses.  Attaching
+# a FleetMaintenance policy recalibrates shards whose staleness crosses
+# the limit, between dispatch windows (a reprogram_after_s /
+# gain_error_threshold would additionally escalate deep drift to a full
+# rewrite) — and the bill splits into readout vs maintenance because
+# the policy captures the counter deltas of every action.
+stale = ShardedOperator.from_matrix(
+    big_fleet.matrix, n_shards=3, batch_window=16,
+    schedule="drift_aware", dac_bits=8, adc_bits=8, seed=12,
+)
+maintained = ShardedOperator.from_matrix(
+    big_fleet.matrix, n_shards=3, batch_window=16,
+    schedule="drift_aware", dac_bits=8, adc_bits=8, seed=12,
+)
+policy = FleetMaintenance(maintained, recalibrate_after_s=1e4, n_probes=16,
+                          seed=13)
+week = 6.05e5
+stale.advance_time(week)
+maintained.advance_time(week)
+stale_result = amp_recover_batch(
+    big_fleet.measurements, stale, big_fleet.n, iterations=30,
+    ground_truth=big_fleet.signals, stagnation_window=4,
+)
+maintained_result = amp_recover_batch(
+    big_fleet.measurements, maintained, big_fleet.n, iterations=30,
+    ground_truth=big_fleet.signals, stagnation_window=4,
+)
+total = sized.energy_from_stats(maintained.stats)
+upkeep = sized.energy_from_stats(policy.stats)
+print(
+    f"\nafter a week of drift: stale fleet NMSE max "
+    f"{stale_result.final_nmse.max():.2e}; recalibrated fleet "
+    f"{maintained_result.final_nmse.max():.2e} "
+    f"({policy.n_calibrations} calibrations x {policy.n_probes} probes, "
+    f"gains {[f'{g:.2f}' for g in maintained.shard_gains]})"
+)
+print(
+    f"  bill: {total['total_energy_j'] * 1e6:.2f} uJ total = "
+    f"{(total['total_energy_j'] - upkeep['total_energy_j']) * 1e6:.2f} uJ "
+    f"readout + {upkeep['total_energy_j'] * 1e6:.2f} uJ maintenance "
+    f"({upkeep['total_energy_j'] / total['total_energy_j'] * 100:.1f}%)"
 )

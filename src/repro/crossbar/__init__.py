@@ -17,8 +17,11 @@ Public API
   voltage blocks (one input vector per column) with loop-equivalent
   conversion accounting.
 * :class:`ShardedOperator` — window-schedules batches larger than one
-  array's readout window across operator replicas (round-robin or
-  greedy-by-active-columns) with exactly merged conversion counters.
+  array's readout window across operator replicas (round-robin,
+  greedy-by-active-columns or drift-aware) with exactly merged
+  conversion counters and per-shard drift clocks.
+* :class:`FleetMaintenance` — scheduled recalibration/reprogramming of
+  drifting shards between dispatch windows, with separable counters.
 * :class:`Dac` / :class:`Adc` — converter quantization models.
 * :func:`program_and_verify` — iterative conductance programming.
 """
@@ -32,6 +35,7 @@ from repro.crossbar.mixed_precision import (
     SolveResult,
     spd_test_system,
 )
+from repro.crossbar.maintenance import FleetMaintenance, MaintenanceAction
 from repro.crossbar.nonidealities import apply_stuck_faults, ir_drop_factors
 from repro.crossbar.operator import CrossbarOperator, DenseOperator
 from repro.crossbar.programming import ProgrammingReport, program_and_verify
@@ -46,6 +50,8 @@ __all__ = [
     "Dac",
     "DenseOperator",
     "DifferentialCoding",
+    "FleetMaintenance",
+    "MaintenanceAction",
     "MixedPrecisionSolver",
     "ProgrammingReport",
     "SHARD_SCHEDULES",

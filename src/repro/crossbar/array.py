@@ -72,6 +72,8 @@ class CrossbarArray:
         self._rng = as_rng(seed)
         self.wire_resistance = wire_resistance
         self.noise_chunk = noise_chunk
+        self._g_target = target_conductance
+        self._programming_iterations = programming_iterations
         self.programming_report: ProgrammingReport = program_and_verify(
             self.device,
             target_conductance,
@@ -82,6 +84,12 @@ class CrossbarArray:
         self.age_seconds = 0.0
         self.n_row_reads = 0
         self.n_col_reads = 0
+        # Maintenance counters: reprogramming sessions after deployment.
+        # The initial programming above is a capital (deployment) cost
+        # and stays out of the serving-energy ledger; its pulse count is
+        # still available as ``programming_report.n_pulses``.
+        self.n_reprograms = 0
+        self.n_program_pulses = 0
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -96,15 +104,48 @@ class CrossbarArray:
         return self._g_programmed.shape[1]
 
     @property
-    def conductance(self) -> np.ndarray:
-        """Current conductance matrix including accumulated drift."""
+    def g_effective(self) -> np.ndarray:
+        """Conductances a read sees right now: the programmed state
+        decayed by the device drift law for ``age_seconds``."""
         return self.device.drifted(self._g_programmed, self.age_seconds)
+
+    @property
+    def conductance(self) -> np.ndarray:
+        """Current conductance matrix including accumulated drift
+        (alias of :attr:`g_effective`, kept for the original API)."""
+        return self.g_effective
 
     def advance_time(self, seconds: float) -> None:
         """Accumulate drift time (Sec. III: PCM conductances relax)."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
         self.age_seconds += seconds
+
+    def reprogram(self, iterations: int | None = None) -> ProgrammingReport:
+        """Rewrite the array to its original target conductances.
+
+        Runs a fresh program-and-verify session from the stored target
+        (consuming this array's RNG stream, as the initial programming
+        did), resets the drift clock to zero, and counts the applied
+        pulses into the maintenance ledger — the drift-compensation
+        escalation when scalar gain calibration is no longer enough.
+        Stuck-fault state injected via :meth:`inject_stuck_faults` is
+        overwritten (that API models a separate yield ablation).
+        Returns the new programming report.
+        """
+        if iterations is None:
+            iterations = self._programming_iterations
+        self.programming_report = program_and_verify(
+            self.device,
+            self._g_target,
+            iterations=iterations,
+            seed=self._rng,
+        )
+        self._g_programmed = self.programming_report.conductance
+        self.age_seconds = 0.0
+        self.n_reprograms += 1
+        self.n_program_pulses += self.programming_report.n_pulses
+        return self.programming_report
 
     def inject_stuck_faults(
         self,

@@ -1,0 +1,264 @@
+"""Scheduled drift maintenance for sharded crossbar fleets.
+
+PCM conductances relax over time (Sec. III drift model), so a fleet that
+keeps serving without compensation accumulates per-shard gain error and
+the recovery quality of every consumer degrades.  The paper's standard
+countermeasure is periodic scalar-gain recalibration
+(:meth:`~repro.crossbar.CrossbarOperator.calibrate`); once drift is deep
+enough that a single digital gain can no longer hide the state-dependent
+dispersion, the array is rewritten outright with
+:func:`~repro.crossbar.program_and_verify`
+(:meth:`~repro.crossbar.CrossbarOperator.reprogram`).
+
+:class:`FleetMaintenance` automates both for a
+:class:`~repro.crossbar.ShardedOperator`: attached to a fleet, it runs
+*between dispatch windows* (the fleet calls :meth:`sweep` before every
+batched or per-vector dispatch) and services each shard whose staleness
+— seconds since its last maintenance event — crosses a threshold:
+
+* ``recalibrate_after_s`` triggers the cheap scalar-gain fit
+  (``n_probes`` probe vectors, billed through the shard's ordinary
+  conversion counters plus the per-probe digital overhead);
+* ``reprogram_after_s`` triggers the heavy program-and-verify rewrite
+  (pulses counted into the shard's ``n_program_pulses``);
+* ``gain_error_threshold`` escalates a calibration whose fitted gain
+  lands further than this from unity into an immediate reprogram — the
+  policy's "scalar compensation is no longer enough" rule.
+
+Every action is logged as a :class:`MaintenanceAction`, and the counter
+deltas it caused are accumulated into :attr:`FleetMaintenance.stats`, so
+the energy bill of a maintained fleet splits exactly into serving versus
+maintenance:  ``energy_from_stats(fleet.stats)`` prices the whole run
+and ``energy_from_stats(policy.stats)`` the maintenance share alone.
+
+Exact shards (no ``calibrate``/``reprogram``) are skipped — a mixed
+A/B fleet maintains only its physical replicas.  A policy whose
+thresholds are never crossed performs no work and consumes no RNG, so
+attaching one to a fresh fleet leaves every result bit-for-bit
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng
+
+__all__ = ["FleetMaintenance", "MaintenanceAction"]
+
+# energy_from_stats requires these keys; the maintenance ledger always
+# carries them (zero-initialized) so the maintenance share is priceable
+# even before the first action.
+_REQUIRED_STAT_KEYS = (
+    "n_matvec",
+    "n_rmatvec",
+    "dac_conversions",
+    "adc_conversions",
+)
+
+
+@dataclass(frozen=True)
+class MaintenanceAction:
+    """One serviced shard: what was done, why, and what it cost.
+
+    Attributes
+    ----------
+    shard:
+        Index of the serviced replica in the fleet.
+    action:
+        ``"calibrate"`` or ``"reprogram"`` (escalated calibrations
+        report as ``"reprogram"``; their probe cost is included).
+    staleness_s:
+        The staleness that triggered the action, in seconds.
+    gain:
+        The digital gain in effect afterwards — the fitted value for a
+        calibration, 1.0 after a reprogram.
+    probes:
+        Calibration probe vectors spent by this action.
+    pulses:
+        Program-and-verify pulses spent by this action.
+    """
+
+    shard: int
+    action: str
+    staleness_s: float
+    gain: float
+    probes: int
+    pulses: int
+
+
+class FleetMaintenance:
+    """Threshold-driven recalibration/reprogramming policy for a fleet.
+
+    Parameters
+    ----------
+    fleet:
+        The :class:`~repro.crossbar.ShardedOperator` to maintain.
+    recalibrate_after_s:
+        Staleness (seconds since last maintenance) beyond which a shard
+        gets a scalar-gain calibration; ``None`` disables calibration.
+    reprogram_after_s:
+        Staleness beyond which a shard is reprogrammed outright;
+        ``None`` disables age-triggered reprogramming.  At least one of
+        the two thresholds is required.
+    gain_error_threshold:
+        If the fitted calibration gain lands further than this from
+        unity, the calibration escalates to a reprogram.
+    n_probes:
+        Probe vectors per calibration (as in ``calibrate``).
+    programming_iterations:
+        Verify rounds per reprogram (``None`` keeps each shard's
+        construction-time setting).
+    seed:
+        RNG seed or generator for the calibration probes.
+    attach:
+        Register this policy as ``fleet.maintenance`` so the fleet runs
+        :meth:`sweep` between dispatch windows (default).  Pass
+        ``False`` to drive sweeps manually.
+    """
+
+    def __init__(
+        self,
+        fleet,
+        recalibrate_after_s: float | None = None,
+        reprogram_after_s: float | None = None,
+        gain_error_threshold: float | None = None,
+        n_probes: int = 8,
+        programming_iterations: int | None = None,
+        seed: int | np.random.Generator | None = None,
+        attach: bool = True,
+    ) -> None:
+        if recalibrate_after_s is None and reprogram_after_s is None:
+            raise ValueError(
+                "at least one of recalibrate_after_s / reprogram_after_s "
+                "is required"
+            )
+        for name, value in (
+            ("recalibrate_after_s", recalibrate_after_s),
+            ("reprogram_after_s", reprogram_after_s),
+            ("gain_error_threshold", gain_error_threshold),
+        ):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive or None")
+        if n_probes < 1:
+            raise ValueError("n_probes must be >= 1")
+        if programming_iterations is not None and programming_iterations < 1:
+            raise ValueError("programming_iterations must be >= 1 or None")
+        self.fleet = fleet
+        self.recalibrate_after_s = recalibrate_after_s
+        self.reprogram_after_s = reprogram_after_s
+        self.gain_error_threshold = gain_error_threshold
+        self.n_probes = int(n_probes)
+        self.programming_iterations = programming_iterations
+        self._rng = as_rng(seed)
+        self.actions: list[MaintenanceAction] = []
+        self._stats: dict[str, int] = {key: 0 for key in _REQUIRED_STAT_KEYS}
+        if attach:
+            fleet.maintenance = self
+
+    # -- policy ----------------------------------------------------------------
+    def due(self, shard) -> str | None:
+        """The action a shard currently needs (``None`` when healthy).
+
+        Exact replicas (without the maintenance protocol) never need
+        service; physical replicas are checked against the reprogram
+        threshold first, then the calibration threshold.
+        """
+        if not (hasattr(shard, "calibrate") and hasattr(shard, "reprogram")):
+            return None
+        staleness = float(getattr(shard, "staleness_seconds", 0.0))
+        if (
+            self.reprogram_after_s is not None
+            and staleness >= self.reprogram_after_s
+        ):
+            return "reprogram"
+        if (
+            self.recalibrate_after_s is not None
+            and staleness >= self.recalibrate_after_s
+        ):
+            return "calibrate"
+        return None
+
+    def sweep(self) -> list[MaintenanceAction]:
+        """Service every shard that is due; returns the actions taken.
+
+        Counter deltas caused by the service (probe conversions, probe
+        and pulse counts) are captured around each shard call and
+        accumulated into :attr:`stats`, so maintenance work is
+        separable from serving work after the fact.
+        """
+        performed: list[MaintenanceAction] = []
+        for index, shard in enumerate(self.fleet.shards):
+            action = self.due(shard)
+            if action is None:
+                continue
+            staleness = float(getattr(shard, "staleness_seconds", 0.0))
+            before = dict(shard.stats)
+            if action == "calibrate":
+                gain = shard.calibrate(n_probes=self.n_probes, seed=self._rng)
+                if (
+                    self.gain_error_threshold is not None
+                    and abs(gain - 1.0) > self.gain_error_threshold
+                ):
+                    shard.reprogram(self.programming_iterations)
+                    action, gain = "reprogram", 1.0
+            else:
+                shard.reprogram(self.programming_iterations)
+                gain = 1.0
+            after = dict(shard.stats)
+            for key in after.keys() | before.keys():
+                delta = after.get(key, 0) - before.get(key, 0)
+                if delta:
+                    self._stats[key] = self._stats.get(key, 0) + delta
+            performed.append(
+                MaintenanceAction(
+                    shard=index,
+                    action=action,
+                    staleness_s=staleness,
+                    gain=float(gain),
+                    probes=after.get("n_calibration_probes", 0)
+                    - before.get("n_calibration_probes", 0),
+                    pulses=after.get("n_program_pulses", 0)
+                    - before.get("n_program_pulses", 0),
+                )
+            )
+        self.actions.extend(performed)
+        return performed
+
+    # -- accounting ------------------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        """Counters attributable to maintenance, in ``stats`` form.
+
+        Key-wise deltas captured around every calibrate/reprogram call,
+        with the keys ``energy_from_stats`` requires always present —
+        price with ``model.energy_from_stats(policy.stats)`` to get the
+        maintenance share of a fleet's bill.
+        """
+        return dict(self._stats)
+
+    @property
+    def n_calibrations(self) -> int:
+        """Calibrations performed (escalated ones count as reprograms)."""
+        return sum(1 for action in self.actions if action.action == "calibrate")
+
+    @property
+    def n_reprograms(self) -> int:
+        return sum(1 for action in self.actions if action.action == "reprogram")
+
+    @property
+    def n_calibration_probes(self) -> int:
+        return sum(action.probes for action in self.actions)
+
+    @property
+    def n_program_pulses(self) -> int:
+        return sum(action.pulses for action in self.actions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FleetMaintenance(recalibrate_after_s={self.recalibrate_after_s}, "
+            f"reprogram_after_s={self.reprogram_after_s}, "
+            f"actions={len(self.actions)})"
+        )

@@ -134,6 +134,14 @@ class _TilePair:
         self.positive.advance_time(seconds)
         self.negative.advance_time(seconds)
 
+    def reprogram(self, iterations: int | None = None) -> None:
+        self.positive.reprogram(iterations)
+        self.negative.reprogram(iterations)
+
+    @property
+    def n_program_pulses(self) -> int:
+        return self.positive.n_program_pulses + self.negative.n_program_pulses
+
 
 class CrossbarOperator:
     """A signed matrix stored in PCM crossbars with converter interfaces.
@@ -246,6 +254,18 @@ class CrossbarOperator:
         self.n_live_matvec = 0
         self.n_live_rmatvec = 0
         self._gain = 1.0
+        self._programming_iterations = programming_iterations
+        # Lifecycle clocks and maintenance counters: ``age_seconds`` is
+        # time since (re)programming, ``staleness_seconds`` time since
+        # the last maintenance event of either kind.  Like the
+        # reprogramming pulse counters, the calibration counters start
+        # at zero — initial programming is a deployment cost, so a
+        # fresh operator prices exactly as before this ledger existed.
+        self.age_seconds = 0.0
+        self._maintained_at_age = 0.0
+        self.n_calibrations = 0
+        self.n_calibration_probes = 0
+        self.n_reprograms = 0
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -260,10 +280,52 @@ class CrossbarOperator:
         """Total PCM devices used (two per coefficient, differential)."""
         return 2 * self.matrix.size
 
+    @property
+    def n_program_pulses(self) -> int:
+        """Maintenance reprogramming pulses applied across all tiles."""
+        return sum(pair.n_program_pulses for pair in self._tiles.values())
+
+    @property
+    def gain(self) -> float:
+        """The digital output gain fitted by the last calibration."""
+        return self._gain
+
+    @property
+    def staleness_seconds(self) -> float:
+        """Seconds of drift since the last maintenance event.
+
+        Zero on a fresh or freshly reprogrammed operator; calibration
+        resets it without resetting :attr:`age_seconds` (the devices
+        keep drifting — only the digital compensation is fresh).
+        """
+        return self.age_seconds - self._maintained_at_age
+
     def advance_time(self, seconds: float) -> None:
         """Let every tile drift for ``seconds`` (Sec. III, PCM drift)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
         for pair in self._tiles.values():
             pair.advance_time(seconds)
+        self.age_seconds += seconds
+
+    def reprogram(self, programming_iterations: int | None = None) -> int:
+        """Rewrite every tile from the stored target matrix.
+
+        The heavy drift-maintenance action: a full program-and-verify
+        session per tile pair (defaulting to the construction-time
+        iteration count), after which the drift and staleness clocks
+        restart and the digital gain returns to unity.  Pulses are
+        counted into :attr:`stats` for the energy layer; returns the
+        pulse count of this session.
+        """
+        before = self.n_program_pulses
+        for pair in self._tiles.values():
+            pair.reprogram(programming_iterations)
+        self._gain = 1.0
+        self.age_seconds = 0.0
+        self._maintained_at_age = 0.0
+        self.n_reprograms += 1
+        return self.n_program_pulses - before
 
     def inject_stuck_faults(
         self,
@@ -289,7 +351,9 @@ class CrossbarOperator:
         calibration — probing with random vectors and comparing to the
         digitally stored target ``A`` — recovers that factor without
         reprogramming the devices (the standard drift-compensation
-        technique for PCM-based computing).  Returns the fitted gain.
+        technique for PCM-based computing).  The probes are counted
+        into the maintenance ledger (:attr:`stats`) and reset the
+        staleness clock.  Returns the fitted gain.
         """
         if n_probes < 1:
             raise ValueError("n_probes must be >= 1")
@@ -311,6 +375,9 @@ class CrossbarOperator:
         if denominator == 0.0:
             raise RuntimeError("calibration probes produced no signal")
         self._gain = numerator / denominator
+        self.n_calibrations += 1
+        self.n_calibration_probes += n_probes
+        self._maintained_at_age = self.age_seconds
         return self._gain
 
     def _normalize(self, vector: np.ndarray) -> tuple[np.ndarray, float]:
@@ -452,6 +519,14 @@ class CrossbarOperator:
             "dac_conversions": self.dac.n_conversions,
             "adc_conversions": self.adc_columns.n_conversions
             + self.adc_rows.n_conversions,
+            # Maintenance ledger: probe vectors fitted and reprogramming
+            # pulses applied since deployment.  Probe *conversions* bill
+            # through the ordinary DAC/ADC counters above; these keys
+            # price the extra per-event maintenance work on top.
+            "n_calibrations": self.n_calibrations,
+            "n_calibration_probes": self.n_calibration_probes,
+            "n_reprograms": self.n_reprograms,
+            "n_program_pulses": self.n_program_pulses,
             "n_devices": self.n_devices,
             "n_tiles": self.n_tiles,
         }

@@ -42,6 +42,18 @@ class ProgrammingReport:
         return len(self.rms_error_history)
 
     @property
+    def n_pulses(self) -> int:
+        """Corrective pulses applied: one per device per verify round.
+
+        Every round reads the whole array once and applies one
+        corrective pulse to every device, so a session over ``d``
+        devices spends ``iterations * d`` program/verify pulse events —
+        the unit the energy layer's ``program_pulse_energy_j`` prices
+        (write pulse plus its verify read).
+        """
+        return self.iterations * int(self.conductance.size)
+
+    @property
     def final_rms_error(self) -> float:
         if not self.rms_error_history:
             raise ValueError("no programming iterations were executed")

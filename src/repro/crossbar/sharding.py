@@ -8,14 +8,36 @@ dispatches the windows across one or more operator replicas that share
 the same programmed matrix but keep independent device noise and
 conversion counters (the ISAAC-style multi-tile serving scenario).
 
-Two scheduling policies are provided:
+Three scheduling policies are provided:
 
 * ``"round_robin"`` — windows rotate across the shards in arrival
   order (the cursor persists across calls, so successive requests keep
   rotating instead of always starting at shard 0);
 * ``"greedy"`` — each window goes to the shard with the least
   *active* (non-zero) columns dispatched so far, which balances real
-  device work under skewed traffic where many columns are zero.
+  device work under skewed traffic where many columns are zero;
+* ``"drift_aware"`` — greedy, plus a staleness penalty: shards that
+  have gone longest without maintenance (calibration or reprogramming)
+  are charged up to ``staleness_weight`` extra windows' worth of load,
+  steering live traffic toward fresh replicas while stale ones await
+  the :class:`~repro.crossbar.maintenance.FleetMaintenance` sweep.
+  With all shards equally stale (in particular on a fresh fleet) the
+  penalty is uniform and the schedule is bitwise identical to
+  ``"greedy"``.
+
+All three leave *degenerate* windows — all-zero, carrying no device
+work — out of the scheduler state: a dead window is served by whichever
+shard the schedule currently favours, without advancing the round-robin
+cursor or the load tallies, so dead traffic between two live windows
+cannot perturb where the live ones land.
+
+Fleets age: :meth:`ShardedOperator.advance_time` drifts the whole fleet
+or (``shard=i``) a single replica, so shards maintained at different
+times carry heterogeneous :attr:`shard_ages`; :meth:`gain_dispersion`
+reports the resulting spread of per-shard calibration gains — the
+fleet-level signature of stale shards serving live traffic.  Attach a
+:class:`~repro.crossbar.maintenance.FleetMaintenance` policy to
+recalibrate or reprogram shards between dispatch windows.
 
 The scheduler preserves the operator protocol — ``matvec``/``rmatvec``,
 ``matmat``/``rmatmat``, ``shape`` and ``stats`` — so every batched
@@ -46,7 +68,7 @@ from repro.crossbar.tile import split_ranges
 
 __all__ = ["SHARD_SCHEDULES", "ShardedOperator"]
 
-SHARD_SCHEDULES = ("round_robin", "greedy")
+SHARD_SCHEDULES = ("round_robin", "greedy", "drift_aware")
 
 
 class ShardedOperator:
@@ -64,10 +86,21 @@ class ShardedOperator:
         Maximum batch columns one shard digitizes per dispatch — the
         physical readout window of one array.
     schedule:
-        ``"round_robin"`` or ``"greedy"`` (see module docstring).
+        ``"round_robin"``, ``"greedy"`` or ``"drift_aware"`` (see
+        module docstring).
+    staleness_weight:
+        Extra load (in units of full windows) a maximally stale shard
+        is charged under the ``"drift_aware"`` schedule; 0 disables the
+        penalty.  Ignored by the other schedules.
     """
 
-    def __init__(self, shards, batch_window: int, schedule: str = "round_robin") -> None:
+    def __init__(
+        self,
+        shards,
+        batch_window: int,
+        schedule: str = "round_robin",
+        staleness_weight: float = 1.0,
+    ) -> None:
         shards = list(shards)
         if not shards:
             raise ValueError("at least one shard is required")
@@ -92,9 +125,13 @@ class ShardedOperator:
         if batch_window != int(batch_window) or batch_window < 1:
             raise ValueError("batch_window must be an integer >= 1")
         check_in("schedule", schedule, SHARD_SCHEDULES)
+        if staleness_weight < 0:
+            raise ValueError("staleness_weight must be non-negative")
         self.shards = shards
         self.batch_window = int(batch_window)
         self.schedule = schedule
+        self.staleness_weight = float(staleness_weight)
+        self.maintenance = None
         self._loads = [0] * len(shards)
         self._cursor = 0
 
@@ -105,6 +142,7 @@ class ShardedOperator:
         n_shards: int,
         batch_window: int,
         schedule: str = "round_robin",
+        staleness_weight: float = 1.0,
         backend: str = "crossbar",
         seed: int | np.random.Generator | None = None,
         **operator_kwargs,
@@ -133,7 +171,12 @@ class ShardedOperator:
                 CrossbarOperator(matrix, seed=rng, **operator_kwargs)
                 for _ in range(int(n_shards))
             ]
-        return cls(shards, batch_window, schedule=schedule)
+        return cls(
+            shards,
+            batch_window,
+            schedule=schedule,
+            staleness_weight=staleness_weight,
+        )
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -154,6 +197,45 @@ class ShardedOperator:
         """Active (non-zero) columns dispatched to each shard so far."""
         return tuple(self._loads)
 
+    @property
+    def shard_ages(self) -> tuple[float, ...]:
+        """Per-shard drift clocks: seconds since each replica was
+        (re)programmed.  Exact shards have no clock and report 0."""
+        return tuple(
+            float(getattr(shard, "age_seconds", 0.0)) for shard in self.shards
+        )
+
+    @property
+    def shard_staleness(self) -> tuple[float, ...]:
+        """Per-shard seconds since the last maintenance event."""
+        return tuple(
+            float(getattr(shard, "staleness_seconds", 0.0))
+            for shard in self.shards
+        )
+
+    @property
+    def shard_gains(self) -> tuple[float, ...]:
+        """Per-shard calibrated digital gains (1.0 where not modelled)."""
+        return tuple(float(getattr(shard, "gain", 1.0)) for shard in self.shards)
+
+    def gain_dispersion(self) -> dict[str, float]:
+        """Fleet-level gain-dispersion stats.
+
+        Stale shards serving live traffic diverge from freshly
+        maintained ones; the spread of per-shard calibration gains (and
+        the worst staleness behind it) is the fleet-health signal a
+        :class:`~repro.crossbar.maintenance.FleetMaintenance` policy
+        drives to zero.
+        """
+        gains = self.shard_gains
+        return {
+            "gain_min": min(gains),
+            "gain_max": max(gains),
+            "gain_mean": sum(gains) / len(gains),
+            "gain_spread": max(gains) - min(gains),
+            "staleness_max_s": max(self.shard_staleness),
+        }
+
     def window_spans(self, batch: int) -> list[tuple[int, int]]:
         """The ``[start, stop)`` column windows a batch splits into."""
         if batch < 0:
@@ -163,13 +245,45 @@ class ShardedOperator:
         return split_ranges(batch, self.batch_window)
 
     # -- scheduling ------------------------------------------------------------
+    def _staleness_penalties(self) -> list[float]:
+        """Per-shard drift-aware load penalties, in column units.
+
+        The staleness of each shard (seconds since maintenance) is
+        normalized by the fleet's worst, so a maximally stale shard is
+        charged ``staleness_weight`` extra windows of phantom load and
+        fresher shards proportionally less.  Uniform staleness —
+        including the all-zero fresh fleet — yields a uniform penalty,
+        which leaves the greedy argmin (and therefore the dispatch)
+        unchanged.
+        """
+        count = len(self.shards)
+        if self.schedule != "drift_aware" or self.staleness_weight == 0.0:
+            return [0.0] * count
+        stale = list(self.shard_staleness)
+        top = max(stale)
+        if top <= 0.0:
+            return [0.0] * count
+        scale = self.staleness_weight * self.batch_window / top
+        return [scale * value for value in stale]
+
     def _pick_shard(self, active_columns: int) -> int:
-        """Choose the shard for one window and record its load."""
+        """Choose the shard for one window and record its load.
+
+        Degenerate windows (``active_columns == 0``) carry no device
+        work: they are served by whichever shard the schedule currently
+        favours, but never advance the round-robin cursor or the load
+        tallies, so dead traffic cannot perturb the live schedule.
+        """
         if self.schedule == "round_robin":
             index = self._cursor % len(self.shards)
-            self._cursor += 1
+            if active_columns:
+                self._cursor += 1
         else:  # greedy-by-active-columns, lowest index breaks ties
-            index = min(range(len(self.shards)), key=lambda i: (self._loads[i], i))
+            penalties = self._staleness_penalties()
+            index = min(
+                range(len(self.shards)),
+                key=lambda i: (self._loads[i] + penalties[i], i),
+            )
         self._loads[index] += active_columns
         return index
 
@@ -184,6 +298,11 @@ class ShardedOperator:
             for columns in per_shard
         ]
 
+    def _run_maintenance(self) -> None:
+        """Give the attached maintenance policy its between-dispatch slot."""
+        if self.maintenance is not None:
+            self.maintenance.sweep()
+
     # -- products --------------------------------------------------------------
     def _dispatch(self, block, in_dim: int, out_dim: int, method: str, name: str):
         block = np.asarray(block, dtype=float)
@@ -192,6 +311,7 @@ class ShardedOperator:
         out = np.zeros((out_dim, block.shape[1]))
         if block.shape[1] == 0:
             return out
+        self._run_maintenance()
         for shard, columns in zip(self.shards, self._assign(block)):
             if columns.size:
                 out[:, columns] = getattr(shard, method)(block[:, columns])
@@ -219,6 +339,7 @@ class ShardedOperator:
         m, n = self.shape
         if x.shape != (n,):
             raise ValueError(f"x must have shape ({n},), got {x.shape}")
+        self._run_maintenance()
         shard = self.shards[self._pick_shard(int(np.any(x != 0.0)))]
         return shard.matvec(x)
 
@@ -228,15 +349,31 @@ class ShardedOperator:
         m, n = self.shape
         if z.shape != (m,):
             raise ValueError(f"z must have shape ({m},), got {z.shape}")
+        self._run_maintenance()
         shard = self.shards[self._pick_shard(int(np.any(z != 0.0)))]
         return shard.rmatvec(z)
 
     # -- maintenance -----------------------------------------------------------
-    def advance_time(self, seconds: float) -> None:
-        """Drift every replica that models drift (exact shards don't)."""
-        for shard in self.shards:
-            if hasattr(shard, "advance_time"):
-                shard.advance_time(seconds)
+    def advance_time(self, seconds: float, shard: int | None = None) -> None:
+        """Drift replicas that model drift (exact shards don't).
+
+        ``shard=None`` ages the whole fleet in lockstep; an index ages
+        one replica only — the heterogeneous-fleet case, e.g. catching
+        a repaired shard up to peers that kept serving while it was
+        offline.  Per-shard clocks are visible as :attr:`shard_ages`.
+        """
+        if shard is None:
+            targets = self.shards
+        else:
+            if shard != int(shard) or not 0 <= shard < len(self.shards):
+                raise ValueError(
+                    f"shard must be an index in [0, {len(self.shards)}), "
+                    f"got {shard!r}"
+                )
+            targets = [self.shards[int(shard)]]
+        for replica in targets:
+            if hasattr(replica, "advance_time"):
+                replica.advance_time(seconds)
 
     # -- accounting ------------------------------------------------------------
     @property

@@ -33,10 +33,15 @@ converter area and peak power.
 :meth:`CrossbarCostModel.energy_from_stats` additionally prices a real
 :class:`~repro.crossbar.operator.CrossbarOperator` run from its DAC/ADC
 conversion counters, charging for conversions actually performed
-instead of assuming full standalone MVM cycles, and
+instead of assuming full standalone MVM cycles — including the drift
+*maintenance* ledger: calibration probes and program-and-verify pulses
+bill per event (``calibration_probe_energy_j`` /
+``program_pulse_energy_j``), and zero counters add exactly nothing, so
+maintenance-free totals are unchanged bit-for-bit.
 :func:`sharded_readout_rows` sweeps a shard-count x bank-count grid for
-fleets scheduled by
-:class:`~repro.crossbar.sharding.ShardedOperator`.
+fleets scheduled by :class:`~repro.crossbar.sharding.ShardedOperator`,
+or — given a fleet's real ``loads`` — prices the dispatch that actually
+happened, shard for shard.
 """
 
 from __future__ import annotations
@@ -176,6 +181,17 @@ class CrossbarCostModel:
     """Per-bank area of one input-mux level, as a fraction of one ADC
     bank's area (same endpoint-preserving convention as the energy
     fraction)."""
+    program_pulse_energy_j: float = 100e-12
+    """Energy of one program-and-verify pulse event (the write pulse
+    plus its verify read) during maintenance reprogramming.  Enters
+    only the counter-driven accounting; stats whose pulse counter is
+    zero or absent price exactly as before this field existed."""
+    calibration_probe_energy_j: float = 10e-9
+    """Digital overhead of one calibration probe — the reference
+    product against the stored target matrix and the gain-fit
+    arithmetic.  The probe's analog read itself bills through the
+    ordinary DAC/ADC conversion and live-read counters; zero/absent
+    probe counters keep every existing total bit-for-bit."""
 
     def __post_init__(self) -> None:
         if self.rows < 1 or self.cols < 1 or self.n_adcs < 1:
@@ -188,6 +204,10 @@ class CrossbarCostModel:
             raise ValueError("mux_energy_per_level_fraction must be non-negative")
         if self.mux_area_per_level_fraction < 0:
             raise ValueError("mux_area_per_level_fraction must be non-negative")
+        if self.program_pulse_energy_j < 0:
+            raise ValueError("program_pulse_energy_j must be non-negative")
+        if self.calibration_probe_energy_j < 0:
+            raise ValueError("calibration_probe_energy_j must be non-negative")
         check_positive("avg_read_current_a", self.avg_read_current_a)
         check_positive("avg_read_voltage_v", self.avg_read_voltage_v)
         check_positive("cycle_time_s", self.cycle_time_s)
@@ -360,6 +380,16 @@ class CrossbarCostModel:
         the true matrix geometry are billed as executed, not as assumed
         standalone 1024x1024 MVM cycles.  Stats dictionaries without
         the live counters fall back to the logical read counts.
+
+        Maintenance work is priced from its own counters: calibration
+        probes (``n_calibration_probes``) charge the per-probe digital
+        overhead on top of the conversions they already billed, and
+        reprogramming pulses (``n_program_pulses``) charge per
+        program-and-verify pulse.  Both counters default to zero when
+        absent, and a zero counter adds exactly 0.0 — totals for
+        maintenance-free runs are bit-for-bit what they were before
+        this ledger existed.  The total is monotone non-decreasing in
+        every counter.
         """
         for key in ("n_matvec", "n_rmatvec", "dac_conversions", "adc_conversions"):
             if key not in stats:
@@ -375,13 +405,20 @@ class CrossbarCostModel:
         per_adc = self.adc.energy_per_conversion_j
         adc = stats["adc_conversions"] * per_adc
         dac = stats["dac_conversions"] * self.dac_energy_fraction * per_adc
+        calibration = (
+            stats.get("n_calibration_probes", 0) * self.calibration_probe_energy_j
+        )
+        programming = stats.get("n_program_pulses", 0) * self.program_pulse_energy_j
         return {
             "n_reads": float(reads),
             "n_live_reads": float(live),
             "device_energy_j": device,
             "adc_energy_j": adc,
             "dac_energy_j": dac,
-            "total_energy_j": device + adc + dac,
+            "calibration_energy_j": calibration,
+            "programming_energy_j": programming,
+            "maintenance_energy_j": calibration + programming,
+            "total_energy_j": device + adc + dac + calibration + programming,
         }
 
     # -- area --------------------------------------------------------------------
@@ -423,6 +460,7 @@ def sharded_readout_rows(
     bank_counts: tuple[int, ...] = (1, 2, 4),
     model: CrossbarCostModel | None = None,
     batch_window: int | None = None,
+    loads: tuple[int, ...] | None = None,
 ) -> list[dict[str, float]]:
     """Fleet readout cost over a shard-count x bank-count grid.
 
@@ -439,6 +477,16 @@ def sharded_readout_rows(
     today's serial schedule and ``shards=1, banks=B`` the parallel
     schedule.
 
+    ``loads`` makes the pricing *schedule-aware*: pass a fleet's actual
+    per-shard dispatch record (:attr:`ShardedOperator.loads` — active
+    columns per shard, under whatever schedule ran) and each shard is
+    priced at exactly the share it served, instead of a hypothetical
+    split.  ``loads`` fixes the shard count (one row set for the fleet
+    that produced it, per bank count), so it is mutually exclusive with
+    both ``batch_window`` and a custom ``shard_counts`` sweep; a
+    balanced load vector prices bit-for-bit like the even split it
+    equals.
+
     Requested bank counts are capped at each shard's share (a shard
     never deploys more banks than it has vectors) and shards beyond the
     batch sit idle; each row therefore reports both the *requested*
@@ -452,6 +500,31 @@ def sharded_readout_rows(
         batch_window != int(batch_window) or batch_window < 1
     ):
         raise ValueError("batch_window must be an integer >= 1 or None")
+    if loads is not None:
+        if batch_window is not None:
+            raise ValueError(
+                "pass either loads (the dispatch already happened) or "
+                "batch_window, not both"
+            )
+        if tuple(shard_counts) != (1, 2, 4):  # the default sweep
+            raise ValueError(
+                "pass either loads (which fixes the shard count) or a "
+                "shard_counts sweep, not both"
+            )
+        loads = list(loads)
+        if not loads:
+            raise ValueError("loads must name at least one shard")
+        if any(load != int(load) or load < 0 for load in loads):
+            raise ValueError("loads must be non-negative integers")
+        loads = [int(load) for load in loads]
+        if sum(loads) < 1:
+            raise ValueError("loads must contain at least one active column")
+        if sum(loads) > batch:
+            raise ValueError(
+                f"loads dispatch {sum(loads)} active columns, more than "
+                f"the batch of {int(batch)}"
+            )
+        shard_counts = (len(loads),)
     model = model if model is not None else CrossbarCostModel()
     batch = int(batch)
     rows = []
@@ -459,7 +532,9 @@ def sharded_readout_rows(
         if shards != int(shards) or shards < 1:
             raise ValueError("shard counts must be integers >= 1")
         shards = int(shards)
-        if batch_window is None:
+        if loads is not None:
+            shares = list(loads)
+        elif batch_window is None:
             base, extra = divmod(batch, shards)
             shares = [base + (1 if i < extra else 0) for i in range(shards)]
         else:

@@ -23,7 +23,12 @@ import numpy as np
 from repro.analytics import QuerySelect
 from repro.arch import banked_offload_rows, miss_rate_sweep
 from repro.core.report import format_series, format_table
-from repro.crossbar import CrossbarOperator, DenseOperator, ShardedOperator
+from repro.crossbar import (
+    CrossbarOperator,
+    DenseOperator,
+    FleetMaintenance,
+    ShardedOperator,
+)
 from repro.devices import BinaryMemristor
 from repro.energy import (
     CrossbarCostModel,
@@ -430,7 +435,14 @@ def fig6_report(
     recovered together by :func:`~repro.signal.amp_recover_batch`
     through the array's ``matmat``/``rmatmat`` path, with the energy
     charged from the operator's real DAC/ADC and live-read counters and
-    the latency priced under both PR-2 readout schedules.
+    the latency priced under both PR-2 readout schedules.  A final
+    section follows the fleet through its drift lifecycle: a stale
+    fleet serving without compensation versus a maintained twin whose
+    :class:`~repro.crossbar.FleetMaintenance` policy recalibrates and
+    eventually reprograms drifting shards, with both bills (readout +
+    calibration + reprogramming) priced end-to-end from the merged
+    counters, and the dispatch itself priced from the fleet's real
+    per-shard loads.
     """
     problem = CsProblem.generate(n=n, m=m, k=k, noise_std=0.0, seed=seed)
     exact = amp_recover(
@@ -547,6 +559,113 @@ def fig6_report(
         ),
     )
 
+    # Schedule-aware pricing: the recovery's whole dispatch record,
+    # priced shard-for-shard from the fleet's real loads instead of a
+    # hypothetical even split (they agree when the loads are balanced).
+    dispatched = sum(sharded.loads)
+    as_dispatched = sharded_readout_rows(
+        dispatched,
+        bank_counts=(1,),
+        model=sized,
+        loads=sharded.loads,
+    )[0]
+
+    # Drift-aware fleet lifecycle: the same fleet kept in service while
+    # its PCM conductances drift.  The stale fleet never compensates;
+    # its maintained twin (same seed, so epoch 0 is bitwise identical)
+    # recalibrates shards whose staleness crosses 5e3 s and reprograms
+    # them outright past 5e5 s, between dispatch windows.  Both bills
+    # come end-to-end from merged counters — readout conversions plus
+    # the calibration-probe and programming-pulse ledgers.
+    stale_fleet = ShardedOperator.from_matrix(
+        problem.matrix,
+        n_shards=n_shards,
+        batch_window=batch_window,
+        schedule="greedy",
+        dac_bits=8,
+        adc_bits=8,
+        seed=seed + 5,
+    )
+    maintained_fleet = ShardedOperator.from_matrix(
+        problem.matrix,
+        n_shards=n_shards,
+        batch_window=batch_window,
+        schedule="drift_aware",
+        dac_bits=8,
+        adc_bits=8,
+        seed=seed + 5,
+    )
+    maintenance = FleetMaintenance(
+        maintained_fleet,
+        recalibrate_after_s=5e3,
+        reprogram_after_s=5e5,
+        n_probes=8,
+        seed=seed + 6,
+    )
+    drift_rows = []
+    elapsed = 0.0
+    for age in (1e2, 1e4, 1e6):
+        stale_fleet.advance_time(age - elapsed)
+        maintained_fleet.advance_time(age - elapsed)
+        elapsed = age
+        stale_recovered = amp_recover_batch(
+            fleet.measurements,
+            stale_fleet,
+            n,
+            iterations=iterations,
+            ground_truth=fleet.signals,
+        )
+        maintained_recovered = amp_recover_batch(
+            fleet.measurements,
+            maintained_fleet,
+            n,
+            iterations=iterations,
+            ground_truth=fleet.signals,
+        )
+        stale_counted = sized.energy_from_stats(stale_fleet.stats)
+        maintained_counted = sized.energy_from_stats(maintained_fleet.stats)
+        drift_rows.append(
+            {
+                "age_s": age,
+                "stale_nmse": float(np.mean(stale_recovered.final_nmse)),
+                "maintained_nmse": float(np.mean(maintained_recovered.final_nmse)),
+                "stale_energy_j": stale_counted["total_energy_j"],
+                "maintained_energy_j": maintained_counted["total_energy_j"],
+                "calibration_energy_j": maintained_counted["calibration_energy_j"],
+                "programming_energy_j": maintained_counted["programming_energy_j"],
+            }
+        )
+    drift_table = format_table(
+        ("fleet age", "stale NMSE", "maintained NMSE", "stale energy",
+         "maintained energy", "of it maintenance"),
+        [
+            (
+                f"{row['age_s']:.0e} s",
+                f"{row['stale_nmse']:.1e}",
+                f"{row['maintained_nmse']:.1e}",
+                f"{row['stale_energy_j'] * 1e6:.2f} uJ",
+                f"{row['maintained_energy_j'] * 1e6:.2f} uJ",
+                f"{(row['calibration_energy_j'] + row['programming_energy_j']) * 1e6:.2f} uJ",
+            )
+            for row in drift_rows
+        ],
+        title=(
+            "Drift-aware fleet lifecycle (cumulative bills from merged "
+            "counters; recalibrate past 5e3 s staleness, reprogram past "
+            "5e5 s):"
+        ),
+    )
+    maintenance_line = (
+        f"maintenance log: {maintenance.n_calibrations} calibrations "
+        f"({maintenance.n_calibration_probes} probes), "
+        f"{maintenance.n_reprograms} reprograms "
+        f"({maintenance.n_program_pulses} pulses); gain dispersion now "
+        f"{maintained_fleet.gain_dispersion()['gain_spread']:.3f}; "
+        f"as-dispatched fleet pricing from real loads "
+        f"{list(sharded.loads)}: {as_dispatched['energy_j'] * 1e6:.2f} uJ "
+        f"over {as_dispatched['latency_cycles']:.0f} cycles"
+    )
+
     batch_table = format_table(
         ("schedule", "read cycles", "latency / fleet", "ADC banks",
          "energy / fleet"),
@@ -616,6 +735,9 @@ def fig6_report(
             f"({int(counted_sharded['n_live_reads'])} live reads across "
             f"{sharded.n_shards} arrays)"
         ),
+        "",
+        drift_table,
+        maintenance_line,
     ]
     return ExperimentResult(
         name="fig6",
@@ -649,6 +771,21 @@ def fig6_report(
                 for row in fleet_rows
                 if row["shards"] == 2 and row["banks"] == 2
             ),
+            "dispatched_columns": float(dispatched),
+            "as_dispatched_energy_uj": as_dispatched["energy_j"] * 1e6,
+            "drift_final_age_s": drift_rows[-1]["age_s"],
+            "drift_stale_nmse": drift_rows[-1]["stale_nmse"],
+            "drift_maintained_nmse": drift_rows[-1]["maintained_nmse"],
+            "drift_stale_energy_uj": drift_rows[-1]["stale_energy_j"] * 1e6,
+            "drift_maintained_energy_uj": drift_rows[-1]["maintained_energy_j"]
+            * 1e6,
+            "drift_calibration_energy_uj": drift_rows[-1]["calibration_energy_j"]
+            * 1e6,
+            "drift_programming_energy_uj": drift_rows[-1]["programming_energy_j"]
+            * 1e6,
+            "drift_n_calibrations": float(maintenance.n_calibrations),
+            "drift_n_reprograms": float(maintenance.n_reprograms),
+            "drift_fresh_nmse": drift_rows[0]["stale_nmse"],
         },
     )
 

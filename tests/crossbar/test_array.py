@@ -98,3 +98,41 @@ class TestIrDrop:
     def test_rejects_negative_wire_resistance(self):
         with pytest.raises(ValueError):
             CrossbarArray(np.full((2, 2), 1e-6), wire_resistance=-1.0)
+
+
+class TestLifecycle:
+    def test_g_effective_is_the_drifted_conductance(self):
+        array = CrossbarArray(np.full((3, 4), 5e-6), seed=2)
+        assert np.array_equal(array.g_effective, array.conductance)
+        fresh = array.g_effective.copy()
+        array.advance_time(1e6)
+        aged = array.g_effective
+        assert (aged <= fresh).all() and (aged < fresh).any()
+        assert np.array_equal(
+            aged, array.device.drifted(array._g_programmed, 1e6)
+        )
+
+    def test_reprogram_resets_the_drift_clock_and_counts_pulses(self):
+        array = CrossbarArray(np.full((3, 4), 5e-6), seed=3,
+                              programming_iterations=5)
+        assert array.n_reprograms == 0
+        assert array.n_program_pulses == 0  # deployment is not maintenance
+        assert array.programming_report.n_pulses == 5 * 12
+        array.advance_time(1e6)
+        report = array.reprogram()
+        assert array.age_seconds == 0.0
+        assert array.n_reprograms == 1
+        assert array.n_program_pulses == 5 * 12
+        assert report is array.programming_report
+        # a shorter verify session bills fewer pulses
+        array.reprogram(iterations=2)
+        assert array.n_program_pulses == 5 * 12 + 2 * 12
+
+    def test_reprogram_recovers_a_drifted_array(self):
+        target = np.full((4, 4), 5e-6)
+        array = CrossbarArray(target, seed=4)
+        array.advance_time(1e8)
+        drifted_error = np.abs(array.g_effective - target).max()
+        array.reprogram()
+        restored_error = np.abs(array.g_effective - target).max()
+        assert restored_error < drifted_error

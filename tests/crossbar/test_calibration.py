@@ -86,3 +86,61 @@ class TestFaultInjection:
         mask = array.inject_stuck_faults(0.5, mode="low", seed=5)
         assert mask.shape == (8, 8)
         assert mask.any()
+
+
+class TestMaintenanceLedger:
+    @pytest.fixture
+    def drifted(self, rng):
+        matrix = rng.standard_normal((40, 40))
+        operator = CrossbarOperator(
+            matrix,
+            device=PcmDevice(prog_noise_sigma=0.0, read_noise_sigma=0.0),
+            dac_bits=None,
+            adc_bits=None,
+            seed=0,
+        )
+        operator.advance_time(1e6)
+        return operator, matrix
+
+    def test_calibrate_counts_probes_and_resets_staleness(self, drifted):
+        operator, _ = drifted
+        assert operator.age_seconds == 1e6
+        assert operator.staleness_seconds == 1e6
+        operator.calibrate(n_probes=8, seed=7)
+        stats = operator.stats
+        assert stats["n_calibrations"] == 1
+        assert stats["n_calibration_probes"] == 8
+        assert stats["n_reprograms"] == 0
+        assert stats["n_program_pulses"] == 0
+        # calibration is digital: the devices keep drifting, only the
+        # compensation is fresh
+        assert operator.age_seconds == 1e6
+        assert operator.staleness_seconds == 0.0
+        operator.advance_time(100.0)
+        assert operator.staleness_seconds == 100.0
+        operator.calibrate(n_probes=4, seed=8)
+        assert operator.stats["n_calibration_probes"] == 12
+
+    def test_reprogram_resets_gain_clocks_and_counts_pulses(self, drifted):
+        operator, matrix = drifted
+        operator.calibrate(seed=9)
+        assert operator.gain != 1.0
+        pulses = operator.reprogram()
+        assert operator.gain == 1.0
+        assert operator.age_seconds == 0.0
+        assert operator.staleness_seconds == 0.0
+        stats = operator.stats
+        assert stats["n_reprograms"] == 1
+        # 40x40 coefficients, differential pairs, 5 verify rounds
+        assert pulses == stats["n_program_pulses"] == 2 * 1600 * 5
+        # the rewritten array is accurate again without gain help
+        x = np.random.default_rng(10).standard_normal(40)
+        assert relative_error(operator, matrix, x) < 0.05
+
+    def test_fresh_operator_ledger_is_zero(self, rng):
+        operator = CrossbarOperator(rng.standard_normal((8, 8)), seed=11)
+        stats = operator.stats
+        for key in ("n_calibrations", "n_calibration_probes",
+                    "n_reprograms", "n_program_pulses"):
+            assert stats[key] == 0
+        assert operator.staleness_seconds == 0.0

@@ -16,7 +16,8 @@ tighter than the percent-level shifts an RNG-order change produces.
 import numpy as np
 import pytest
 
-from repro.crossbar import CrossbarOperator
+from repro.crossbar import CrossbarArray, CrossbarOperator
+from repro.devices import PcmDevice
 
 GOLDEN_MATVEC_FIRST = np.array(
     [
@@ -90,11 +91,66 @@ GOLDEN_MATVEC_TILED = np.array(
 )
 
 
+# Drift-trajectory pins: the default device's amorphous/crystalline
+# exponent interpolation over six equispaced states spanning the full
+# conductance window, at two ages.  The fully crystalline state
+# (g_max) must not drift at all; the near-g_min state drifts with the
+# full exponent.  These values are pure (RNG-free) device physics.
+GOLDEN_DRIFT_LEVELS = np.linspace(0.1e-6, 25e-6, 6)
+GOLDEN_DRIFTED_1E3 = np.array(
+    [
+        8.072100188541932e-08,
+        4.280090452205959e-06,
+        8.84687532254117e-06,
+        1.3805192082395416e-05,
+        1.918056437596782e-05,
+        2.5e-05,
+    ]
+)
+GOLDEN_DRIFTED_1E6 = np.array(
+    [
+        6.516283738603728e-08,
+        3.606315359108282e-06,
+        7.780329190458862e-06,
+        1.26720778079773e-05,
+        1.837655380293331e-05,
+        2.5e-05,
+    ]
+)
+
+# Effective array conductances after programming (seeded draws) plus
+# 1e6 s of drift — pins the composition of the program-and-verify RNG
+# stream with the drift law, so a refactor of either cannot silently
+# shift every aged-fleet figure.
+GOLDEN_G_EFFECTIVE_ROW0 = np.array(
+    [
+        1.3303374892455503e-05,
+        2.394791411152579e-05,
+        1.567710723977101e-05,
+        1.2128875378826626e-05,
+    ]
+)
+GOLDEN_G_EFFECTIVE_ROW2 = np.array(
+    [
+        1.1065421216218277e-05,
+        2.1410002630726786e-05,
+        5.949508882271122e-06,
+        1.6370798546674464e-06,
+    ]
+)
+
+
 def fixed_inputs():
     matrix = np.random.default_rng(2024).standard_normal((6, 10))
     x = np.random.default_rng(99).standard_normal(10)
     z = np.random.default_rng(7).standard_normal(6)
     return matrix, x, z
+
+
+def fixed_target_conductance():
+    matrix, _, _ = fixed_inputs()
+    block = np.abs(matrix[:4, :4])
+    return block / block.max() * 25e-6
 
 
 class TestGoldenMatvec:
@@ -127,6 +183,41 @@ class TestGoldenMatvec:
         np.testing.assert_allclose(
             operator.matvec(x), GOLDEN_MATVEC_CALIBRATED, rtol=1e-7, atol=1e-12
         )
+
+    def test_fixed_drift_trajectories_are_pinned(self):
+        """``PcmDevice.drifted`` is pure arithmetic: pin the
+        state-dependent exponent interpolation at two ages."""
+        device = PcmDevice()
+        np.testing.assert_allclose(
+            device.drifted(GOLDEN_DRIFT_LEVELS, 1e3),
+            GOLDEN_DRIFTED_1E3,
+            rtol=1e-12,
+        )
+        np.testing.assert_allclose(
+            device.drifted(GOLDEN_DRIFT_LEVELS, 1e6),
+            GOLDEN_DRIFTED_1E6,
+            rtol=1e-12,
+        )
+        # endpoints of the physics: crystalline g_max pinned in place,
+        # and drift only ever decays
+        assert device.drifted(GOLDEN_DRIFT_LEVELS, 1e6)[-1] == 25e-6
+        assert (device.drifted(GOLDEN_DRIFT_LEVELS, 1e6)
+                <= GOLDEN_DRIFT_LEVELS).all()
+
+    def test_fixed_seed_aged_g_effective_is_pinned(self):
+        """Programming draws (seeded) composed with 1e6 s of drift."""
+        array = CrossbarArray(fixed_target_conductance(), seed=7)
+        array.advance_time(1e6)
+        aged = array.g_effective
+        np.testing.assert_allclose(
+            aged[0], GOLDEN_G_EFFECTIVE_ROW0, rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            aged[2], GOLDEN_G_EFFECTIVE_ROW2, rtol=1e-12
+        )
+        # a fresh twin presents exactly its programmed state
+        fresh = CrossbarArray(fixed_target_conductance(), seed=7)
+        assert np.array_equal(fresh.g_effective, fresh._g_programmed)
 
     def test_goldens_are_in_the_plausible_range(self):
         """Guard the goldens themselves: they must sit within the PCM

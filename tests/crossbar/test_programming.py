@@ -50,3 +50,12 @@ class TestProgramAndVerify:
         report = ProgrammingReport(conductance=np.zeros(2))
         with pytest.raises(ValueError):
             _ = report.final_rms_error
+
+
+class TestPulseAccounting:
+    def test_n_pulses_is_one_per_device_per_round(self):
+        device = PcmDevice()
+        report = program_and_verify(
+            device, np.full((3, 5), 5e-6), iterations=4, seed=0
+        )
+        assert report.n_pulses == 4 * 15

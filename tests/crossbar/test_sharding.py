@@ -96,8 +96,9 @@ class TestScheduling:
         block = np.ones((n, 6))
         block[:, 0:2] = 0.0  # window 0 is all dead
         fleet.matmat(block)
-        # window 0 (0 live) -> shard 0; window 1 (2 live) -> shard 1
-        # (shard 0 still at load 0); window 2 (2 live) -> shard 0.
+        # window 0 (0 live) -> shard 0 without recording load; window 1
+        # (2 live) -> shard 0 (loads tied at 0, lowest index wins);
+        # window 2 (2 live) -> shard 1 (load 0 < 2).
         assert fleet.loads == (2, 2)
         assert [s.n_matvec for s in fleet.shards] == [4, 2]
 
@@ -204,3 +205,123 @@ class TestReplicaConsistency:
                 small_matrix, n_shards=2, batch_window=4, backend="exact",
                 seed=5,
             )
+
+
+class TestDegenerateWindows:
+    """Dead (all-zero) traffic must not perturb the schedule — the
+    regression behind PR-4's zero-conversion billing rule: billing
+    nothing is not enough, the *cursor and loads* must stay put too."""
+
+    def test_zero_matvec_does_not_advance_the_round_robin_cursor(
+        self, small_matrix, rng
+    ):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=2, batch_window=4, backend="exact"
+        )
+        n = small_matrix.shape[1]
+        fleet.matvec(np.zeros(n))  # dead: served by shard 0, no rotation
+        fleet.matvec(rng.standard_normal(n))  # live: still shard 0's turn
+        assert [s.n_matvec for s in fleet.shards] == [2, 0]
+        fleet.matvec(rng.standard_normal(n))  # rotation resumes normally
+        assert [s.n_matvec for s in fleet.shards] == [2, 1]
+
+    def test_dead_window_does_not_shift_live_round_robin_windows(
+        self, small_matrix, rng
+    ):
+        """A dead window in the middle of a batch must leave the live
+        windows exactly where they would have landed without it."""
+        n = small_matrix.shape[1]
+        live = rng.standard_normal((n, 4))
+        with_dead = np.concatenate([live[:, :2], np.zeros((n, 2)), live[:, 2:]],
+                                   axis=1)
+        plain = ShardedOperator.from_matrix(
+            small_matrix, n_shards=2, batch_window=2, backend="exact"
+        )
+        padded = ShardedOperator.from_matrix(
+            small_matrix, n_shards=2, batch_window=2, backend="exact"
+        )
+        plain.matmat(live)
+        padded.matmat(with_dead)
+        assert plain.loads == padded.loads
+        # live windows 1 and 2 landed on the same shards in both runs
+        # (the dead window rode along on the shard whose turn it was)
+        assert plain._cursor == padded._cursor
+
+    def test_dead_windows_leave_greedy_loads_untouched(self, small_matrix):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=2, batch_window=3, schedule="greedy",
+            backend="exact",
+        )
+        n = small_matrix.shape[1]
+        fleet.matmat(np.zeros((n, 6)))
+        assert fleet.loads == (0, 0)
+        assert fleet.shards[0].n_matvec == 6  # logical reads still counted
+
+    def test_greedy_ties_break_toward_the_lowest_index(self, small_matrix):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=3, batch_window=2, schedule="greedy",
+            backend="exact",
+        )
+        n = small_matrix.shape[1]
+        fleet.matmat(np.ones((n, 2)))  # all loads tied at 0 -> shard 0
+        assert fleet.loads == (2, 0, 0)
+        fleet.matmat(np.ones((n, 2)))  # 1 and 2 tied -> shard 1
+        assert fleet.loads == (2, 2, 0)
+
+
+class TestDriftAwareScheduling:
+    def test_steers_live_traffic_away_from_the_stale_shard(self, small_matrix):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix,
+            n_shards=2,
+            batch_window=2,
+            schedule="drift_aware",
+            device=PcmDevice.ideal(),
+            seed=0,
+        )
+        fleet.advance_time(1e6, shard=1)  # shard 1 alone goes stale
+        n = small_matrix.shape[1]
+        fleet.matmat(np.ones((n, 8)))
+        # the stale shard is handicapped by one full window of phantom
+        # load, so the fresh shard serves more of the batch
+        assert fleet.loads[0] > fleet.loads[1]
+        assert fleet.loads[0] + fleet.loads[1] == 8
+
+    def test_weight_scales_the_handicap(self, small_matrix):
+        def loads_with(weight):
+            fleet = ShardedOperator.from_matrix(
+                small_matrix,
+                n_shards=2,
+                batch_window=2,
+                schedule="drift_aware",
+                staleness_weight=weight,
+                device=PcmDevice.ideal(),
+                seed=0,
+            )
+            fleet.advance_time(1e6, shard=1)
+            fleet.matmat(np.ones((small_matrix.shape[1], 12)))
+            return fleet.loads
+
+        mild, strong = loads_with(1.0), loads_with(4.0)
+        assert strong[1] < mild[1]  # a heavier weight starves it harder
+
+    def test_staleness_weight_validation(self, small_matrix):
+        with pytest.raises(ValueError, match="staleness_weight"):
+            ShardedOperator.from_matrix(
+                small_matrix,
+                n_shards=2,
+                batch_window=2,
+                schedule="drift_aware",
+                staleness_weight=-0.5,
+                backend="exact",
+            )
+
+    def test_exact_fleet_reports_neutral_lifecycle_state(self, small_matrix):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=2, batch_window=2, backend="exact"
+        )
+        assert fleet.shard_ages == (0.0, 0.0)
+        assert fleet.shard_gains == (1.0, 1.0)
+        dispersion = fleet.gain_dispersion()
+        assert dispersion["gain_spread"] == 0.0
+        assert dispersion["staleness_max_s"] == 0.0

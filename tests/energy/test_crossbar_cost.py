@@ -387,3 +387,224 @@ class TestShardedReadoutRows:
         assert even["latency_cycles"] == 4.0
         with pytest.raises(ValueError, match="batch_window"):
             sharded_readout_rows(8, batch_window=0)
+
+
+class TestMaintenanceBilling:
+    """Counter-driven calibration/programming pricing: conservative at
+    zero (bit-for-bit), monotone in every counter."""
+
+    BASE = {
+        "n_matvec": 10,
+        "n_rmatvec": 8,
+        "n_live_matvec": 9,
+        "n_live_rmatvec": 8,
+        "dac_conversions": 123,
+        "adc_conversions": 456,
+    }
+
+    def test_zero_counters_reproduce_legacy_totals_bitwise(self):
+        """A stats dict without the maintenance keys and one carrying
+        them at zero must price identically — and exactly as the
+        pre-maintenance formula did."""
+        model = CrossbarCostModel(rows=32, cols=16, devices_per_cell=2)
+        legacy = model.energy_from_stats(self.BASE)
+        zeroed = model.energy_from_stats(
+            {**self.BASE, "n_calibration_probes": 0, "n_program_pulses": 0}
+        )
+        assert legacy == zeroed
+        assert legacy["calibration_energy_j"] == 0.0
+        assert legacy["programming_energy_j"] == 0.0
+        assert legacy["maintenance_energy_j"] == 0.0
+        per_adc = model.adc.energy_per_conversion_j
+        expected = (
+            17 * model.device_read_energy_j
+            + 456 * per_adc
+            + 123 * model.dac_energy_fraction * per_adc
+        )
+        assert legacy["total_energy_j"] == expected  # bit-for-bit
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "n_live_matvec",
+            "n_live_rmatvec",
+            "dac_conversions",
+            "adc_conversions",
+            "n_calibration_probes",
+            "n_program_pulses",
+        ],
+    )
+    @pytest.mark.parametrize("bump", [1, 7, 1000])
+    def test_total_energy_monotone_in_every_counter(self, key, bump):
+        model = CrossbarCostModel(rows=32, cols=16, devices_per_cell=2)
+        base = {**self.BASE, "n_calibration_probes": 3, "n_program_pulses": 40}
+        bumped = dict(base)
+        bumped[key] = bumped.get(key, 0) + bump
+        if key == "n_live_matvec":
+            bumped["n_matvec"] = bumped["n_matvec"] + bump  # keep live <= total
+        if key == "n_live_rmatvec":
+            bumped["n_rmatvec"] = bumped["n_rmatvec"] + bump
+        before = model.energy_from_stats(base)["total_energy_j"]
+        after = model.energy_from_stats(bumped)["total_energy_j"]
+        assert after > before
+
+    def test_maintenance_terms_price_per_event(self):
+        model = CrossbarCostModel()
+        priced = model.energy_from_stats(
+            {**self.BASE, "n_calibration_probes": 5, "n_program_pulses": 1000}
+        )
+        assert priced["calibration_energy_j"] == pytest.approx(
+            5 * model.calibration_probe_energy_j
+        )
+        assert priced["programming_energy_j"] == pytest.approx(
+            1000 * model.program_pulse_energy_j
+        )
+        assert priced["maintenance_energy_j"] == pytest.approx(
+            priced["calibration_energy_j"] + priced["programming_energy_j"]
+        )
+        assert priced["total_energy_j"] == pytest.approx(
+            priced["device_energy_j"]
+            + priced["adc_energy_j"]
+            + priced["dac_energy_j"]
+            + priced["maintenance_energy_j"]
+        )
+
+    def test_rejects_negative_maintenance_fields_and_counters(self):
+        with pytest.raises(ValueError, match="program_pulse_energy_j"):
+            CrossbarCostModel(program_pulse_energy_j=-1e-12)
+        with pytest.raises(ValueError, match="calibration_probe_energy_j"):
+            CrossbarCostModel(calibration_probe_energy_j=-1e-9)
+        with pytest.raises(ValueError, match="n_program_pulses"):
+            CrossbarCostModel().energy_from_stats(
+                {**self.BASE, "n_program_pulses": -1}
+            )
+
+    def test_operator_maintenance_counters_price_through(self):
+        """A real calibrate + reprogram session bills probes and pulses
+        end-to-end through the operator's own stats."""
+        rng = np.random.default_rng(0)
+        operator = CrossbarOperator(rng.standard_normal((8, 10)), seed=1)
+        operator.advance_time(1e6)
+        operator.calibrate(n_probes=4, seed=2)
+        operator.reprogram()
+        model = CrossbarCostModel(rows=8, cols=10, devices_per_cell=2)
+        priced = model.energy_from_stats(operator.stats)
+        assert priced["calibration_energy_j"] == pytest.approx(
+            4 * model.calibration_probe_energy_j
+        )
+        # 8x10 coefficients, differential pairs, 5 verify rounds
+        assert operator.stats["n_program_pulses"] == 2 * 80 * 5
+        assert priced["programming_energy_j"] == pytest.approx(
+            800 * model.program_pulse_energy_j
+        )
+
+
+class TestScheduleAwarePricing:
+    """``sharded_readout_rows(loads=...)``: price the dispatch that
+    actually happened."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("batch", [4, 7, 8, 12])
+    @pytest.mark.parametrize("banks", [1, 2, 4])
+    def test_balanced_loads_equal_even_split_grid(self, shards, batch, banks):
+        """When the real dispatch happens to be balanced, pricing from
+        loads is bit-for-bit the even-split price."""
+        from repro.energy import sharded_readout_rows
+
+        model = CrossbarCostModel(rows=32, cols=16)
+        base, extra = divmod(batch, shards)
+        loads = tuple(
+            base + (1 if i < extra else 0) for i in range(shards)
+        )
+        from_loads = sharded_readout_rows(
+            batch, bank_counts=(banks,), model=model, loads=loads
+        )
+        even = sharded_readout_rows(
+            batch, shard_counts=(shards,), bank_counts=(banks,), model=model
+        )
+        assert from_loads == even
+
+    @pytest.mark.parametrize(
+        "shards,window,batch", [(2, 3, 8), (3, 5, 4), (4, 2, 7), (2, 4, 8)]
+    )
+    def test_real_fleet_loads_reproduce_window_pricing(
+        self, shards, window, batch, rng
+    ):
+        """An all-live batch dispatched round-robin produces loads that
+        price exactly like the window-aware hypothetical — the two
+        views of the same schedule agree, ragged windows included."""
+        from repro.crossbar import ShardedOperator
+        from repro.energy import sharded_readout_rows
+
+        matrix = rng.standard_normal((6, 9))
+        fleet = ShardedOperator.from_matrix(
+            matrix, n_shards=shards, batch_window=window, backend="exact"
+        )
+        fleet.matmat(np.ones((9, batch)))
+        model = CrossbarCostModel(rows=9, cols=6)
+        from_loads = sharded_readout_rows(
+            batch, bank_counts=(1, 2), model=model, loads=fleet.loads
+        )
+        hypothetical = sharded_readout_rows(
+            batch,
+            shard_counts=(shards,),
+            bank_counts=(1, 2),
+            model=model,
+            batch_window=window,
+        )
+        assert from_loads == hypothetical
+
+    def test_skewed_loads_price_the_true_straggler(self):
+        """A greedy dispatch that landed 6/2 prices a 6-cycle serial
+        fleet readout, where the even split would claim 4."""
+        from repro.energy import sharded_readout_rows
+
+        model = CrossbarCostModel()
+        (row,) = sharded_readout_rows(
+            8, bank_counts=(1,), model=model, loads=(6, 2)
+        )
+        assert row["latency_cycles"] == 6.0
+        assert row["energy_j"] == pytest.approx(8 * model.mvm_energy_j)
+
+    def test_idle_shards_in_loads_are_reported_not_priced(self):
+        from repro.energy import sharded_readout_rows
+
+        model = CrossbarCostModel()
+        (row,) = sharded_readout_rows(
+            8, bank_counts=(1,), model=model, loads=(5, 0, 3)
+        )
+        assert row["shards"] == 3.0
+        assert row["shards_active"] == 2.0
+        assert row["total_area_m2"] == pytest.approx(2 * model.total_area_m2)
+
+    def test_dead_columns_make_loads_cheaper_than_even_split(self):
+        """loads counts *active* columns: a batch padded with dead
+        columns prices below the all-live hypothetical."""
+        from repro.energy import sharded_readout_rows
+
+        model = CrossbarCostModel()
+        (from_loads,) = sharded_readout_rows(
+            8, bank_counts=(1,), model=model, loads=(3, 3)
+        )
+        (even,) = sharded_readout_rows(
+            8, shard_counts=(2,), bank_counts=(1,), model=model
+        )
+        assert from_loads["energy_j"] < even["energy_j"]
+
+    def test_loads_validation(self):
+        from repro.energy import sharded_readout_rows
+
+        with pytest.raises(ValueError, match="not both"):
+            sharded_readout_rows(8, loads=(4, 4), batch_window=3)
+        with pytest.raises(ValueError, match="shard_counts"):
+            sharded_readout_rows(8, loads=(4, 4), shard_counts=(2, 3))
+        with pytest.raises(ValueError, match="at least one shard"):
+            sharded_readout_rows(8, loads=())
+        with pytest.raises(ValueError, match="non-negative"):
+            sharded_readout_rows(8, loads=(4, -1))
+        with pytest.raises(ValueError, match="non-negative"):
+            sharded_readout_rows(8, loads=(2.5, 1))
+        with pytest.raises(ValueError, match="active column"):
+            sharded_readout_rows(8, loads=(0, 0))
+        with pytest.raises(ValueError, match="more than the batch"):
+            sharded_readout_rows(8, loads=(6, 6))
