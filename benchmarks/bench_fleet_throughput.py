@@ -1,0 +1,265 @@
+"""Fleet throughput trend line: parallel vs serial cross-shard dispatch.
+
+PRs 1-5 bought their speed by vectorizing inside one dispatch; this
+benchmark tracks the other axis — running the fleet's independent
+shards *concurrently* — as a trend line instead of a one-off ratio.
+It emits ``benchmarks/results/BENCH_fleet_throughput.json`` with:
+
+* **MVMs/s vs shard count** at a production shape (A 4096x4096,
+  B = 4096) for ``parallelism="serial"`` and ``"threads"``, with the
+  per-shard-count speedup and scaling efficiency
+  (speedup / min(shards, cores));
+* **recoveries/s vs shard count** for batched AMP compressed-sensing
+  recovery through ideal-device crossbar fleets, where the threaded
+  path also pipelines each sweep via ``fused_sweep``;
+* **bitwise serial-equivalence gates in the same run** — the threaded
+  production dispatch must equal the serial dispatch bit for bit on
+  the dense backend (same gemm widths both modes), and a quantized
+  ideal-crossbar fleet must match serially-dispatched results, merged
+  counters, and loads exactly.
+
+Scaling-efficiency gate — thread-level speedup is physically bounded by
+the cores the runner exposes, so the wall-clock gate adapts (the
+bitwise gates never relax):
+
+* >= 4 cores (CI runners): threaded dispatch at 8 shards must be
+  >= 2.0x serial;
+* 2-3 cores: >= 1.2x;
+* 1 core: threading cannot win — the gate instead bounds the overhead:
+  threaded throughput must stay >= 0.25x serial.
+
+The shard threads rely on NumPy's GIL-releasing BLAS kernels; for the
+speedup to be attributable to cross-shard parallelism, BLAS-internal
+threading should be pinned (CI sets ``OPENBLAS_NUM_THREADS=1`` /
+``OMP_NUM_THREADS=1`` for this step).  The JSON records the core count
+and the pinning state so trend lines across runners stay comparable.
+
+Run:  PYTHONPATH=src python -m pytest -q benchmarks/bench_fleet_throughput.py
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.crossbar import ShardedOperator
+from repro.devices import PcmDevice
+from repro.signal import CsProblem, amp_recover_batch
+
+# Production MVM shape (dense exact backend: replicas share one stored
+# matrix, so 8 shards cost no extra memory).
+N = M = 4096
+BATCH = 4096
+SHARD_COUNTS = (1, 2, 4, 8)
+GATE_SHARDS = 8
+REPEATS = 2
+
+# AMP recovery trend (ideal-device crossbar backend).
+CS_N, CS_M, CS_K = 1024, 512, 16
+CS_BATCH = 256
+CS_SHARD_COUNTS = (1, 2, 4)
+CS_SWEEPS = 8
+
+MIN_SPEEDUP_MULTICORE = 2.0  # >= 4 cores
+MIN_SPEEDUP_FEWCORE = 1.2  # 2-3 cores
+MIN_RATIO_SINGLE_CORE = 0.25  # 1 core: overhead bound, not a speedup
+COUNTER_KEYS = (
+    "n_matvec",
+    "n_rmatvec",
+    "n_live_matvec",
+    "n_live_rmatvec",
+    "dac_conversions",
+    "adc_conversions",
+)
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_fleet_throughput.json"
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def required_gate(cores: int) -> tuple[str, float]:
+    if cores >= 4:
+        return "speedup", MIN_SPEEDUP_MULTICORE
+    if cores >= 2:
+        return "speedup", MIN_SPEEDUP_FEWCORE
+    return "overhead-bound", MIN_RATIO_SINGLE_CORE
+
+
+def dense_fleet(matrix, shards, parallelism):
+    return ShardedOperator.from_matrix(
+        matrix,
+        n_shards=shards,
+        batch_window=BATCH // shards,
+        parallelism=parallelism,
+        backend="exact",
+    )
+
+
+def best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_fleet_throughput_trend_and_equivalence(write_result):
+    rng = np.random.default_rng(0)
+    cores = available_cores()
+    gate_mode, gate_value = required_gate(cores)
+
+    # -- MVMs/s vs shard count at the production shape -----------------
+    matrix = rng.standard_normal((M, N))
+    x_block = rng.standard_normal((N, BATCH))
+    mvm_trend = []
+    for shards in SHARD_COUNTS:
+        entry = {"shards": shards, "batch_window": BATCH // shards}
+        for mode in ("serial", "threads"):
+            fleet = dense_fleet(matrix, shards, mode)
+            seconds = best_of(REPEATS, lambda: fleet.matmat(x_block))
+            fleet.shutdown()
+            entry[f"{mode}_s"] = seconds
+            entry[f"{mode}_mvms_per_s"] = BATCH / seconds
+        entry["speedup"] = entry["serial_s"] / entry["threads_s"]
+        entry["scaling_efficiency"] = entry["speedup"] / min(shards, cores)
+        mvm_trend.append(entry)
+    gate_entry = next(e for e in mvm_trend if e["shards"] == GATE_SHARDS)
+
+    # -- bitwise serial-equivalence gates (same run, same shapes) ------
+    serial_fleet = dense_fleet(matrix, GATE_SHARDS, "serial")
+    threaded_fleet = dense_fleet(matrix, GATE_SHARDS, "threads")
+    dense_bitwise = bool(
+        np.array_equal(serial_fleet.matmat(x_block), threaded_fleet.matmat(x_block))
+    )
+    dense_state_equal = (
+        serial_fleet.stats == threaded_fleet.stats
+        and serial_fleet.loads == threaded_fleet.loads
+    )
+    threaded_fleet.shutdown()
+
+    small = rng.standard_normal((48, 96))
+    small_block = rng.standard_normal((96, 24))
+
+    def ideal_fleet(parallelism):
+        return ShardedOperator.from_matrix(
+            small,
+            n_shards=4,
+            batch_window=5,
+            parallelism=parallelism,
+            device=PcmDevice.ideal(),
+            seed=1,
+        )
+
+    ideal_serial, ideal_threaded = ideal_fleet("serial"), ideal_fleet("threads")
+    crossbar_bitwise = bool(
+        np.array_equal(
+            ideal_serial.matmat(small_block), ideal_threaded.matmat(small_block)
+        )
+    )
+    crossbar_counters_equal = all(
+        ideal_serial.stats[key] == ideal_threaded.stats[key] for key in COUNTER_KEYS
+    ) and ideal_serial.loads == ideal_threaded.loads
+    ideal_threaded.shutdown()
+
+    # -- recoveries/s vs shard count (AMP through crossbar fleets) -----
+    problem = CsProblem.generate_batch(n=CS_N, m=CS_M, k=CS_K, batch=CS_BATCH, seed=2)
+    recovery_trend = []
+    for shards in CS_SHARD_COUNTS:
+        entry = {"shards": shards, "batch_window": CS_BATCH // shards}
+        for mode in ("serial", "threads"):
+            fleet = ShardedOperator.from_matrix(
+                problem.matrix,
+                n_shards=shards,
+                batch_window=CS_BATCH // shards,
+                parallelism=mode,
+                device=PcmDevice.ideal(),
+                seed=3,
+            )
+            seconds = best_of(
+                1,
+                lambda: amp_recover_batch(
+                    problem.measurements,
+                    fleet,
+                    problem.n,
+                    iterations=CS_SWEEPS,
+                    tolerance=0.0,  # fixed sweep count: pure throughput
+                ),
+            )
+            fleet.shutdown()
+            entry[f"{mode}_s"] = seconds
+            entry[f"{mode}_recoveries_per_s"] = CS_BATCH / seconds
+        entry["speedup"] = entry["serial_s"] / entry["threads_s"]
+        recovery_trend.append(entry)
+
+    gate_ratio = gate_entry["speedup"]
+    gate_passed = gate_ratio >= gate_value
+
+    payload = {
+        "shape": {"m": M, "n": N, "batch": BATCH},
+        "cores": cores,
+        "blas_pinned": {
+            key: os.environ.get(key)
+            for key in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS")
+        },
+        "gate": {
+            "shards": GATE_SHARDS,
+            "mode": gate_mode,
+            "required": gate_value,
+            "measured": gate_ratio,
+            "passed": gate_passed,
+        },
+        "mvm_trend": mvm_trend,
+        "recovery_trend": recovery_trend,
+        "dense_bitwise_equal": dense_bitwise,
+        "dense_state_equal": dense_state_equal,
+        "ideal_crossbar_bitwise_equal": crossbar_bitwise,
+        "ideal_crossbar_counters_equal": crossbar_counters_equal,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "Fleet throughput trend - parallel vs serial cross-shard dispatch",
+        f"  problem               : A {M}x{N}, B={BATCH} (dense exact backend)",
+        f"  cores                 : {cores}  (gate: {gate_mode} >= {gate_value}x "
+        f"at {GATE_SHARDS} shards)",
+    ]
+    for entry in mvm_trend:
+        lines.append(
+            f"  {entry['shards']:2d} shards             : "
+            f"serial {entry['serial_mvms_per_s']:8.0f} MVMs/s | "
+            f"threads {entry['threads_mvms_per_s']:8.0f} MVMs/s | "
+            f"{entry['speedup']:5.2f}x (eff {entry['scaling_efficiency']:.2f})"
+        )
+    lines.append(
+        f"  AMP recoveries        : B={CS_BATCH} signals, n={CS_N}, m={CS_M}, "
+        f"{CS_SWEEPS} sweeps, ideal crossbar"
+    )
+    for entry in recovery_trend:
+        lines.append(
+            f"  {entry['shards']:2d} shards             : "
+            f"serial {entry['serial_recoveries_per_s']:7.1f} rec/s | "
+            f"threads {entry['threads_recoveries_per_s']:7.1f} rec/s | "
+            f"{entry['speedup']:5.2f}x"
+        )
+    lines += [
+        f"  dense bitwise         : {dense_bitwise} (state {dense_state_equal})",
+        f"  crossbar bitwise      : {crossbar_bitwise} "
+        f"(counters {crossbar_counters_equal})",
+        f"  gate                  : measured {gate_ratio:.2f}x vs required "
+        f"{gate_value}x -> {'PASS' if gate_passed else 'FAIL'}",
+        f"  [json written to {RESULTS_PATH}]",
+    ]
+    write_result("fleet_throughput", "\n".join(lines))
+
+    # The bitwise gates never relax, whatever the runner's core count.
+    assert dense_bitwise and dense_state_equal
+    assert crossbar_bitwise and crossbar_counters_equal
+    assert gate_passed

@@ -134,6 +134,47 @@ print(
     f"({priced['total_energy_j'] / big_fleet.batch * 1e6:.3f} uJ / signal)"
 )
 
+# --- parallel fleet: threaded cross-shard dispatch ----------------------------
+# The shards are independent arrays, so their windows can execute
+# concurrently: parallelism="threads" dispatches per-shard reads on a
+# thread pool (window->shard scheduling stays serial and deterministic,
+# and AMP sweeps pipeline through fused_sweep instead of barriering the
+# fleet between rmatmat and matmat).  stream="per_shard" gives each
+# replica its own RNG stream so concurrent shards never contend for one
+# generator.  The merged counters feed the same pricing path, so the
+# bill below sits next to the serial fleet's (different noise streams
+# retire columns at slightly different sweeps); with a shared stream on
+# an exact backend the whole run — results, counters, bill — is bitwise
+# identical (tests/integration/test_parallel_dispatch.py pins this).
+threaded = ShardedOperator.from_matrix(
+    big_fleet.matrix,
+    n_shards=3,
+    batch_window=16,
+    parallelism="threads",
+    stream="per_shard",
+    dac_bits=8,
+    adc_bits=8,
+    seed=12,
+)
+threaded_result = amp_recover_batch(
+    big_fleet.measurements,
+    threaded,
+    big_fleet.n,
+    iterations=30,
+    ground_truth=big_fleet.signals,
+    stagnation_window=4,
+)
+threaded.shutdown()
+threaded_bill = sized.energy_from_stats(threaded.stats)
+print(
+    f"\nthreaded fleet: same {big_fleet.batch} signals with concurrent "
+    f"per-shard reads, NMSE max {threaded_result.final_nmse.max():.2e}"
+)
+print(
+    f"  bill {threaded_bill['total_energy_j'] * 1e6:.2f} uJ vs serial fleet "
+    f"{priced['total_energy_j'] * 1e6:.2f} uJ (same counter-driven pricing)"
+)
+
 # --- fleet lifecycle: drift, staleness, scheduled recalibration ---------------
 # PCM conductances relax over time, so a fleet left serving for a week
 # drifts out of calibration and recovery quality collapses.  Attaching

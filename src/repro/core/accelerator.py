@@ -92,6 +92,8 @@ class CimAccelerator:
         n_shards: int = 1,
         batch_window: int | None = None,
         schedule: str = "round_robin",
+        parallelism: str = "serial",
+        n_workers: int | None = None,
         **operator_kwargs,
     ) -> CrossbarOperator | ShardedOperator:
         """Create a matrix region programmed with ``matrix``.
@@ -102,7 +104,10 @@ class CimAccelerator:
         same matrix programmed into ``n_shards`` replicas with batches
         window-scheduled across them — which serves the identical
         ``matmat``/``rmatmat`` protocol, so callers cannot tell the
-        difference except in capacity.
+        difference except in capacity.  ``parallelism="threads"`` (with
+        an optional ``n_workers`` cap) makes the fleet execute its
+        per-shard reads concurrently; results and counters match serial
+        execution (see :mod:`repro.crossbar.sharding`).
         """
         self._check_free(name)
         if n_shards != int(n_shards) or n_shards < 1:
@@ -112,6 +117,10 @@ class CimAccelerator:
         if batch_window is None and schedule != "round_robin":
             raise ValueError(
                 "schedule applies to sharded regions; pass batch_window"
+            )
+        if batch_window is None and (parallelism != "serial" or n_workers is not None):
+            raise ValueError(
+                "parallelism applies to sharded regions; pass batch_window"
             )
         dac_bits = operator_kwargs.pop("dac_bits", self.dac_bits)
         adc_bits = operator_kwargs.pop("adc_bits", self.adc_bits)
@@ -130,6 +139,8 @@ class CimAccelerator:
                 n_shards=n_shards,
                 batch_window=batch_window,
                 schedule=schedule,
+                parallelism=parallelism,
+                n_workers=n_workers,
                 device=self.analog_device,
                 dac_bits=dac_bits,
                 adc_bits=adc_bits,

@@ -19,7 +19,9 @@ Public API
 * :class:`ShardedOperator` — window-schedules batches larger than one
   array's readout window across operator replicas (round-robin,
   greedy-by-active-columns or drift-aware) with exactly merged
-  conversion counters and per-shard drift clocks.
+  conversion counters and per-shard drift clocks; per-shard reads run
+  serially or on a thread pool (``parallelism="threads"``) with
+  identical scheduling, results and counters.
 * :class:`FleetMaintenance` — scheduled recalibration/reprogramming of
   drifting shards between dispatch windows, with separable counters.
 * :class:`Dac` / :class:`Adc` — converter quantization models.
@@ -39,7 +41,11 @@ from repro.crossbar.maintenance import FleetMaintenance, MaintenanceAction
 from repro.crossbar.nonidealities import apply_stuck_faults, ir_drop_factors
 from repro.crossbar.operator import CrossbarOperator, DenseOperator
 from repro.crossbar.programming import ProgrammingReport, program_and_verify
-from repro.crossbar.sharding import SHARD_SCHEDULES, ShardedOperator
+from repro.crossbar.sharding import (
+    PARALLELISM_MODES,
+    SHARD_SCHEDULES,
+    ShardedOperator,
+)
 from repro.crossbar.tile import split_ranges
 
 __all__ = [
@@ -53,6 +59,7 @@ __all__ = [
     "FleetMaintenance",
     "MaintenanceAction",
     "MixedPrecisionSolver",
+    "PARALLELISM_MODES",
     "ProgrammingReport",
     "SHARD_SCHEDULES",
     "ShardedOperator",

@@ -82,6 +82,12 @@ class CrossbarArray:
         )
         self._g_programmed = self.programming_report.conductance
         self.age_seconds = 0.0
+        # Batched reads recompute nothing per call: the drifted (and
+        # IR-scaled) conductance and its elementwise square are cached
+        # until the device state changes (see _invalidate_read_cache).
+        # The cached matrices are deterministic functions of the state,
+        # so cached and uncached reads are bitwise identical.
+        self._read_cache: dict[int, list[np.ndarray | None]] = {}
         self.n_row_reads = 0
         self.n_col_reads = 0
         # Maintenance counters: reprogramming sessions after deployment.
@@ -115,11 +121,17 @@ class CrossbarArray:
         (alias of :attr:`g_effective`, kept for the original API)."""
         return self.g_effective
 
+    def _invalidate_read_cache(self) -> None:
+        """Drop cached read matrices after any device-state change."""
+        self._read_cache.clear()
+
     def advance_time(self, seconds: float) -> None:
         """Accumulate drift time (Sec. III: PCM conductances relax)."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
         self.age_seconds += seconds
+        if seconds > 0:
+            self._invalidate_read_cache()
 
     def reprogram(self, iterations: int | None = None) -> ProgrammingReport:
         """Rewrite the array to its original target conductances.
@@ -143,6 +155,7 @@ class CrossbarArray:
         )
         self._g_programmed = self.programming_report.conductance
         self.age_seconds = 0.0
+        self._invalidate_read_cache()
         self.n_reprograms += 1
         self.n_program_pulses += self.programming_report.n_pulses
         return self.programming_report
@@ -169,10 +182,31 @@ class CrossbarArray:
             seed=seed if seed is not None else self._rng,
         )
         self._g_programmed = faulty
+        self._invalidate_read_cache()
         return mask
 
     def _instantaneous_conductance(self) -> np.ndarray:
         return self.device.read(self.conductance, seed=self._rng)
+
+    def _read_entry(self, axis: int) -> list:
+        """Cached ``[g_now, g_now**2]`` for batched reads along ``axis``.
+
+        ``g_now`` is the drifted conductance with IR-drop factors
+        applied (the mean matrix of the output-referred noise model);
+        the square is filled in lazily by the first noisy read.  Without
+        IR drop the matrix is axis-independent, so both directions share
+        one entry.  Entries live until :meth:`_invalidate_read_cache`
+        (drift, reprogramming, fault injection).
+        """
+        key = axis if self.wire_resistance > 0.0 else -1
+        entry = self._read_cache.get(key)
+        if entry is None:
+            g_now = self.device.drifted(self._g_programmed, self.age_seconds)
+            if self.wire_resistance > 0.0:
+                g_now = g_now * ir_drop_factors(g_now, self.wire_resistance, axis=axis)
+            entry = [g_now, None]
+            self._read_cache[key] = entry
+        return entry
 
     def _batched_currents(self, voltages: np.ndarray, axis: int) -> np.ndarray:
         """Currents for a 2-D voltage block (one read event per column).
@@ -192,9 +226,8 @@ class CrossbarArray:
         on the mean (noise-free) conductance rather than each read's
         noisy realization, so noise does not perturb the drop factors.
         """
-        g_now = self.conductance
-        if self.wire_resistance > 0.0:
-            g_now = g_now * ir_drop_factors(g_now, self.wire_resistance, axis=axis)
+        entry = self._read_entry(axis)
+        g_now = entry[0]
         sigma = self.device.read_noise_sigma
         if axis == 0:
             mean = g_now.T @ voltages
@@ -202,7 +235,10 @@ class CrossbarArray:
             mean = g_now @ voltages
         if sigma == 0.0:
             return mean
-        g_sq = g_now**2
+        g_sq = entry[1]
+        if g_sq is None:
+            g_sq = g_now**2
+            entry[1] = g_sq
         chunk = self.noise_chunk
         if chunk is None or voltages.shape[1] <= chunk:
             if axis == 0:

@@ -188,7 +188,24 @@ class FleetMaintenance:
         and pulse counts) are captured around each shard call and
         accumulated into :attr:`stats`, so maintenance work is
         separable from serving work after the fact.
+
+        When the fleet supports it, the service pass runs with the
+        fleet quiesced (:meth:`ShardedOperator.quiesce`), so a replica
+        is never calibrated or rewritten while a concurrently
+        dispatched window is mid-read.  Staleness only advances through
+        ``advance_time`` — never during dispatch — so the cheap
+        lock-free "anything due?" pre-check cannot miss work, and a
+        fleet with nothing due pays no quiescing cost.
         """
+        if all(self.due(shard) is None for shard in self.fleet.shards):
+            return []
+        quiesce = getattr(self.fleet, "quiesce", None)
+        if quiesce is None:
+            return self._service_due()
+        with quiesce():
+            return self._service_due()
+
+    def _service_due(self) -> list[MaintenanceAction]:
         performed: list[MaintenanceAction] = []
         for index, shard in enumerate(self.fleet.shards):
             action = self.due(shard)

@@ -497,14 +497,24 @@ class CrossbarOperator:
         energy models bill from cannot drift from the skip logic.
         """
         normalized, peaks = self._normalize_block(block)
-        out = np.zeros((out_dim, block.shape[1]))
+        batch = block.shape[1]
         live = np.flatnonzero(peaks)
         if live.size == 0:
-            return out, 0
-        voltages = self.dac.to_voltages(normalized[:, live])
+            return np.zeros((out_dim, batch)), 0
+        # All-live fast path (the common case for solver traffic): run
+        # the converters on the normalized block itself and scale the
+        # accumulator in place — no live-column gather, no second
+        # (out_dim, B) buffer, no multiply temporary.  Same values as
+        # the gather path bit for bit.
+        all_live = live.size == batch
+        voltages = self.dac.to_voltages(normalized if all_live else normalized[:, live])
         result = np.zeros((out_dim, live.size))
         for (o0, o1), currents in tile_currents(voltages):
             result[o0:o1] += adc.quantize(currents)
+        if all_live:
+            result *= self._gain * peaks / (self._scale * self.v_read)
+            return result, batch
+        out = np.zeros((out_dim, batch))
         out[:, live] = result * (self._gain * peaks[live] / (self._scale * self.v_read))
         return out, int(live.size)
 

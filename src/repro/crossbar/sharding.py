@@ -31,13 +31,41 @@ shard the schedule currently favours, without advancing the round-robin
 cursor or the load tallies, so dead traffic between two live windows
 cannot perturb where the live ones land.
 
+Scheduling is separate from execution.  Window→shard assignment is
+always computed serially, under a lock, as a pure function of the block
+and the scheduler state (:meth:`ShardedOperator.plan_assignments`
+exposes the same decision as a dry run) — but the per-shard
+``matmat``/``rmatmat`` calls it produces may execute either one after
+another (``parallelism="serial"``, the default) or concurrently on a
+thread pool (``parallelism="threads"``).  Shards are independent by
+construction and NumPy releases the GIL inside its BLAS and ufunc
+kernels, so threaded dispatch scales with cores while window results
+are reassembled in submission order: outputs, per-shard counters,
+:attr:`loads` and drift clocks are identical to serial dispatch on
+deterministic backends (bit-for-bit through the quantizing ideal-device
+crossbar — pinned by ``tests/integration/test_parallel_dispatch.py``).
+On *noisy* backends the two modes are distribution-equivalent read-noise
+realizations; build the fleet with ``stream="per_shard"`` so concurrent
+shards never contend for one RNG stream.
+
+:meth:`fused_sweep` goes one step further for iterative solvers: one
+``rmatmat`` → per-column transform → ``matmat`` round trip in which a
+shard's forward windows are committed the moment *that shard's*
+transpose read finishes, instead of after the whole fleet's — so a
+solver sweep (e.g. one :func:`~repro.signal.amp_recover_batch`
+iteration) stops being a whole-fleet barrier while reproducing the
+unfused scheduling trace decision-for-decision.
+
 Fleets age: :meth:`ShardedOperator.advance_time` drifts the whole fleet
 or (``shard=i``) a single replica, so shards maintained at different
 times carry heterogeneous :attr:`shard_ages`; :meth:`gain_dispersion`
 reports the resulting spread of per-shard calibration gains — the
 fleet-level signature of stale shards serving live traffic.  Attach a
 :class:`~repro.crossbar.maintenance.FleetMaintenance` policy to
-recalibrate or reprogram shards between dispatch windows.
+recalibrate or reprogram shards between dispatch windows; the policy
+quiesces the fleet (:meth:`quiesce`) before touching a shard, so
+maintenance never overlaps in-flight reads even under threaded or
+multi-caller dispatch.
 
 The scheduler preserves the operator protocol — ``matvec``/``rmatvec``,
 ``matmat``/``rmatmat``, ``shape`` and ``stats`` — so every batched
@@ -60,15 +88,20 @@ deploy (pinned by ``tests/integration/test_sharding_invariants.py``):
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro._util import as_rng, check_in
 from repro.crossbar.operator import CrossbarOperator, DenseOperator
 from repro.crossbar.tile import split_ranges
 
-__all__ = ["SHARD_SCHEDULES", "ShardedOperator"]
+__all__ = ["PARALLELISM_MODES", "SHARD_SCHEDULES", "ShardedOperator"]
 
 SHARD_SCHEDULES = ("round_robin", "greedy", "drift_aware")
+PARALLELISM_MODES = ("serial", "threads")
 
 
 class ShardedOperator:
@@ -92,6 +125,14 @@ class ShardedOperator:
         Extra load (in units of full windows) a maximally stale shard
         is charged under the ``"drift_aware"`` schedule; 0 disables the
         penalty.  Ignored by the other schedules.
+    parallelism:
+        ``"serial"`` (default) executes the per-shard calls of one
+        dispatch in shard order; ``"threads"`` runs them concurrently
+        on a thread pool.  Scheduling decisions are identical in both
+        modes; see the module docstring for the determinism contract.
+    n_workers:
+        Worker threads for ``parallelism="threads"`` (``None`` uses one
+        per shard).  Ignored under serial dispatch.
     """
 
     def __init__(
@@ -100,6 +141,8 @@ class ShardedOperator:
         batch_window: int,
         schedule: str = "round_robin",
         staleness_weight: float = 1.0,
+        parallelism: str = "serial",
+        n_workers: int | None = None,
     ) -> None:
         shards = list(shards)
         if not shards:
@@ -127,13 +170,26 @@ class ShardedOperator:
         check_in("schedule", schedule, SHARD_SCHEDULES)
         if staleness_weight < 0:
             raise ValueError("staleness_weight must be non-negative")
+        check_in("parallelism", parallelism, PARALLELISM_MODES)
+        if n_workers is not None and (n_workers != int(n_workers) or n_workers < 1):
+            raise ValueError("n_workers must be an integer >= 1 or None")
         self.shards = shards
         self.batch_window = int(batch_window)
         self.schedule = schedule
         self.staleness_weight = float(staleness_weight)
+        self.parallelism = parallelism
+        self.n_workers = int(n_workers) if n_workers is not None else len(shards)
         self.maintenance = None
         self._loads = [0] * len(shards)
         self._cursor = 0
+        # Scheduling stays serial and deterministic under one lock;
+        # per-shard locks make each replica's counters and RNG stream
+        # single-writer even with concurrent callers; the executor is
+        # created lazily on the first threaded dispatch.
+        self._scheduler_lock = threading.Lock()
+        self._shard_locks = [threading.Lock() for _ in shards]
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
 
     @classmethod
     def from_matrix(
@@ -143,7 +199,10 @@ class ShardedOperator:
         batch_window: int,
         schedule: str = "round_robin",
         staleness_weight: float = 1.0,
+        parallelism: str = "serial",
+        n_workers: int | None = None,
         backend: str = "crossbar",
+        stream: str = "shared",
         seed: int | np.random.Generator | None = None,
         **operator_kwargs,
     ) -> "ShardedOperator":
@@ -153,29 +212,41 @@ class ShardedOperator:
         :class:`CrossbarOperator` replicas from one RNG stream (shared
         target conductances, independent programming/read noise);
         ``backend="exact"`` builds :class:`DenseOperator` baselines.
-        Extra keyword arguments go to the crossbar constructor.
+        ``stream="per_shard"`` instead gives every replica its own
+        child RNG stream (spawned from ``seed``), so threaded dispatch
+        on a *noisy* fleet never has two shards contending for one
+        generator and a single caller's per-shard noise sequence stays
+        reproducible.  Extra keyword arguments go to the crossbar
+        constructor.
         """
         check_in("backend", backend, ("crossbar", "exact"))
+        check_in("stream", stream, ("shared", "per_shard"))
         if n_shards != int(n_shards) or n_shards < 1:
             raise ValueError("n_shards must be an integer >= 1")
         if backend == "exact":
-            if operator_kwargs or seed is not None:
+            if operator_kwargs or seed is not None or stream != "shared":
                 raise ValueError(
-                    "seed and operator keyword arguments apply to the "
-                    "crossbar backend only"
+                    "seed, stream and operator keyword arguments apply to "
+                    "the crossbar backend only"
                 )
             shards = [DenseOperator(matrix) for _ in range(int(n_shards))]
         else:
             rng = as_rng(seed)
+            if stream == "per_shard":
+                streams = rng.spawn(int(n_shards))
+            else:
+                streams = [rng] * int(n_shards)
             shards = [
-                CrossbarOperator(matrix, seed=rng, **operator_kwargs)
-                for _ in range(int(n_shards))
+                CrossbarOperator(matrix, seed=child, **operator_kwargs)
+                for child in streams
             ]
         return cls(
             shards,
             batch_window,
             schedule=schedule,
             staleness_weight=staleness_weight,
+            parallelism=parallelism,
+            n_workers=n_workers,
         )
 
     # -- introspection ---------------------------------------------------------
@@ -287,34 +358,128 @@ class ShardedOperator:
         self._loads[index] += active_columns
         return index
 
+    def _assign_windows(self, block: np.ndarray) -> list[tuple[int, int, int]]:
+        """``(start, stop, shard)`` per window, advancing scheduler state.
+
+        The assignment sequence is a pure function of the block's
+        per-window active-column counts and the scheduler state
+        (``loads``, cursor, staleness) at call time — no clock, RNG or
+        execution-timing input — which is what makes serial and
+        threaded dispatch schedule identically.
+        """
+        plan: list[tuple[int, int, int]] = []
+        for start, stop in self.window_spans(block.shape[1]):
+            active = int(np.count_nonzero(np.any(block[:, start:stop] != 0.0, axis=0)))
+            plan.append((start, stop, self._pick_shard(active)))
+        return plan
+
     def _assign(self, block: np.ndarray) -> list[np.ndarray]:
         """Per-shard column index arrays for one dispatched block."""
         per_shard: list[list[np.ndarray]] = [[] for _ in self.shards]
-        for start, stop in self.window_spans(block.shape[1]):
-            active = int(np.count_nonzero(np.any(block[:, start:stop] != 0.0, axis=0)))
-            per_shard[self._pick_shard(active)].append(np.arange(start, stop))
+        for start, stop, shard in self._assign_windows(block):
+            per_shard[shard].append(np.arange(start, stop))
         return [
             np.concatenate(columns) if columns else np.empty(0, dtype=int)
             for columns in per_shard
         ]
+
+    def plan_assignments(self, block: np.ndarray) -> list[tuple[int, int, int]]:
+        """Dry-run the scheduler: the ``(start, stop, shard)`` plan for
+        ``block`` without dispatching it or mutating scheduler state.
+
+        Planning then dispatching the same block yields exactly this
+        assignment (the scheduler is deterministic), so the plan is the
+        observable contract of the window→shard decision — used by the
+        schedule-purity property tests and available for admission
+        control.
+        """
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2:
+            raise ValueError(f"block must be 2-D (lines, B), got shape {block.shape}")
+        with self._scheduler_lock:
+            loads, cursor = list(self._loads), self._cursor
+            try:
+                return self._assign_windows(block)
+            finally:
+                self._loads, self._cursor = loads, cursor
+
+    # -- worker management -----------------------------------------------------
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.n_workers,
+                    thread_name_prefix="shard-dispatch",
+                )
+            return self._executor
+
+    def shutdown(self) -> None:
+        """Join and discard the dispatch thread pool (if one exists).
+
+        Safe to call repeatedly; the next threaded dispatch lazily
+        recreates the pool.  Serial fleets never own a pool.
+        """
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    @contextmanager
+    def quiesce(self):
+        """Hold every shard lock: no dispatch work runs in the block.
+
+        Maintenance uses this before calibrating or reprogramming, so a
+        replica is never rewritten while a concurrently dispatched
+        window is mid-read.  Locks are taken in shard order (workers
+        hold at most one shard lock and never wait for another, so the
+        ordering cannot deadlock).
+        """
+        for lock in self._shard_locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(self._shard_locks):
+                lock.release()
 
     def _run_maintenance(self) -> None:
         """Give the attached maintenance policy its between-dispatch slot."""
         if self.maintenance is not None:
             self.maintenance.sweep()
 
+    def _shard_call(self, index: int, method: str, sub_block: np.ndarray):
+        """One shard's whole-dispatch product, under its lock."""
+        with self._shard_locks[index]:
+            return getattr(self.shards[index], method)(sub_block)
+
     # -- products --------------------------------------------------------------
     def _dispatch(self, block, in_dim: int, out_dim: int, method: str, name: str):
         block = np.asarray(block, dtype=float)
         if block.ndim != 2 or block.shape[0] != in_dim:
             raise ValueError(f"{name} must have shape ({in_dim}, B), got {block.shape}")
-        out = np.zeros((out_dim, block.shape[1]))
         if block.shape[1] == 0:
-            return out
+            return np.zeros((out_dim, 0))
         self._run_maintenance()
-        for shard, columns in zip(self.shards, self._assign(block)):
-            if columns.size:
-                out[:, columns] = getattr(shard, method)(block[:, columns])
+        with self._scheduler_lock:
+            assignment = self._assign(block)
+        # Every column belongs to exactly one window and every window to
+        # exactly one shard, so the output block is fully written.
+        out = np.empty((out_dim, block.shape[1]))
+        if self.parallelism == "serial":
+            for index, columns in enumerate(assignment):
+                if columns.size:
+                    out[:, columns] = self._shard_call(index, method, block[:, columns])
+            return out
+        pool = self._pool()
+        pending = [
+            (columns, pool.submit(self._shard_call, index, method, block[:, columns]))
+            for index, columns in enumerate(assignment)
+            if columns.size
+        ]
+        # Reassemble in submission order: identical writes to serial
+        # dispatch, whatever order the workers finished in.
+        for columns, future in pending:
+            out[:, columns] = future.result()
         return out
 
     def matmat(self, x_block: np.ndarray) -> np.ndarray:
@@ -333,6 +498,96 @@ class ShardedOperator:
         m, n = self.shape
         return self._dispatch(z_block, m, n, "rmatmat", "Z")
 
+    def fused_sweep(self, z_block: np.ndarray, transform):
+        """One pipelined ``rmatmat`` → transform → ``matmat`` round trip.
+
+        ``transform(u_columns, columns)`` maps the transpose-read result
+        for ``columns`` (absolute indices into ``z_block``) to the
+        forward-product input for the same columns; it must be a pure
+        per-column function (it may run concurrently for different
+        column sets).  Returns ``(x_block, q_block)`` — the assembled
+        transform outputs and ``A @ x_block``.
+
+        The scheduling trace reproduces the unfused
+        ``rmatmat(Z)`` … ``matmat(X)`` pair decision-for-decision: all
+        transpose windows are assigned up front, then forward windows
+        strictly in window order, each as soon as the shard that owns
+        its transpose read has delivered — so under threaded dispatch a
+        fast shard's forward work starts while slow shards are still on
+        their transpose reads, and a solver sweep stops being a
+        whole-fleet barrier.  Forward windows dispatch per window
+        rather than per shard; conversion counters are per live column,
+        so totals are unchanged, and the quantizing converters make the
+        results bitwise equal on exact-device backends (pinned by
+        ``tests/integration/test_parallel_dispatch.py``).
+
+        One quiesced maintenance slot runs per fused sweep (the unfused
+        pair enters dispatch twice, but staleness cannot change between
+        the two entries, so the action log is identical).
+        """
+        z_block = np.asarray(z_block, dtype=float)
+        m, n = self.shape
+        if z_block.ndim != 2 or z_block.shape[0] != m:
+            raise ValueError(f"Z must have shape ({m}, B), got {z_block.shape}")
+        batch = z_block.shape[1]
+        x_out = np.empty((n, batch))
+        q_out = np.empty((m, batch))
+        if batch == 0:
+            return x_out, q_out
+        self._run_maintenance()
+        with self._scheduler_lock:
+            reverse_plan = self._assign_windows(z_block)
+
+        # Column sets per transpose-read owner, in window order.
+        owner_columns: list[list[np.ndarray]] = [[] for _ in self.shards]
+        for start, stop, owner in reverse_plan:
+            owner_columns[owner].append(np.arange(start, stop))
+        columns_of = [
+            np.concatenate(spans) if spans else np.empty(0, dtype=int)
+            for spans in owner_columns
+        ]
+
+        def reverse_and_transform(owner: int) -> None:
+            columns = columns_of[owner]
+            u_columns = self._shard_call(owner, "rmatmat", z_block[:, columns])
+            x_out[:, columns] = transform(u_columns, columns)
+
+        serial = self.parallelism == "serial"
+        if serial:
+            reverse_done: list = [None] * len(self.shards)
+            for owner, columns in enumerate(columns_of):
+                if columns.size:
+                    reverse_and_transform(owner)
+        else:
+            pool = self._pool()
+            reverse_done = [
+                pool.submit(reverse_and_transform, owner) if columns.size else None
+                for owner, columns in enumerate(columns_of)
+            ]
+
+        # Commit forward windows strictly in window order, each as soon
+        # as its owner's transpose read (hence its x_out columns) is
+        # ready; _pick_shard therefore sees the same state sequence the
+        # unfused matmat(X) dispatch would.
+        forward: list[tuple[int, int]] = []
+        for start, stop, owner in reverse_plan:
+            if reverse_done[owner] is not None:
+                reverse_done[owner].result()
+            window = x_out[:, start:stop]
+            active = int(np.count_nonzero(np.any(window != 0.0, axis=0)))
+            with self._scheduler_lock:
+                index = self._pick_shard(active)
+            if serial:
+                q_out[:, start:stop] = self._shard_call(index, "matmat", window)
+            else:
+                forward.append(
+                    (start, pool.submit(self._shard_call, index, "matmat", window))
+                )
+        for start, future in forward:
+            result = future.result()
+            q_out[:, start : start + result.shape[1]] = result
+        return x_out, q_out
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Single-vector read, scheduled as a width-1 window."""
         x = np.asarray(x, dtype=float)
@@ -340,8 +595,10 @@ class ShardedOperator:
         if x.shape != (n,):
             raise ValueError(f"x must have shape ({n},), got {x.shape}")
         self._run_maintenance()
-        shard = self.shards[self._pick_shard(int(np.any(x != 0.0)))]
-        return shard.matvec(x)
+        with self._scheduler_lock:
+            index = self._pick_shard(int(np.any(x != 0.0)))
+        with self._shard_locks[index]:
+            return self.shards[index].matvec(x)
 
     def rmatvec(self, z: np.ndarray) -> np.ndarray:
         """Single-vector transpose read, scheduled as a width-1 window."""
@@ -350,8 +607,10 @@ class ShardedOperator:
         if z.shape != (m,):
             raise ValueError(f"z must have shape ({m},), got {z.shape}")
         self._run_maintenance()
-        shard = self.shards[self._pick_shard(int(np.any(z != 0.0)))]
-        return shard.rmatvec(z)
+        with self._scheduler_lock:
+            index = self._pick_shard(int(np.any(z != 0.0)))
+        with self._shard_locks[index]:
+            return self.shards[index].rmatvec(z)
 
     # -- maintenance -----------------------------------------------------------
     def advance_time(self, seconds: float, shard: int | None = None) -> None:
@@ -363,17 +622,18 @@ class ShardedOperator:
         offline.  Per-shard clocks are visible as :attr:`shard_ages`.
         """
         if shard is None:
-            targets = self.shards
+            targets = list(enumerate(self.shards))
         else:
             if shard != int(shard) or not 0 <= shard < len(self.shards):
                 raise ValueError(
                     f"shard must be an index in [0, {len(self.shards)}), "
                     f"got {shard!r}"
                 )
-            targets = [self.shards[int(shard)]]
-        for replica in targets:
+            targets = [(int(shard), self.shards[int(shard)])]
+        for index, replica in targets:
             if hasattr(replica, "advance_time"):
-                replica.advance_time(seconds)
+                with self._shard_locks[index]:
+                    replica.advance_time(seconds)
 
     # -- accounting ------------------------------------------------------------
     @property
@@ -401,5 +661,6 @@ class ShardedOperator:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardedOperator(shape={self.shape}, shards={self.n_shards}, "
-            f"batch_window={self.batch_window}, schedule={self.schedule!r})"
+            f"batch_window={self.batch_window}, schedule={self.schedule!r}, "
+            f"parallelism={self.parallelism!r})"
         )

@@ -313,6 +313,12 @@ def amp_recover_batch(
     noisy crossbar the batched and looped runs are two read-noise
     realizations of the same computation.
 
+    Sharded fleets built with ``parallelism="threads"`` additionally run
+    each sweep through :meth:`~repro.crossbar.ShardedOperator.fused_sweep`,
+    pipelining the ``rmatmat``/``matmat`` pair per shard so a sweep is
+    no longer a whole-fleet barrier — same results, counters, and
+    schedule as the unfused sweep (bitwise on exact-device backends).
+
     Parameters
     ----------
     measurements:
@@ -374,16 +380,33 @@ def amp_recover_batch(
     active_counts: list[int] = []
     active = np.arange(batch)
 
+    # On a threaded sharded fleet, run each sweep through the fleet's
+    # pipelined fused_sweep: the rmatmat -> threshold -> matmat round
+    # trip overlaps across shards instead of barriering between the two
+    # products.  The threshold is a pure per-column function, so the
+    # fused sweep is the same computation (bitwise on exact-device
+    # backends); serial operators keep the classic two-call path.
+    pipelined = getattr(operator, "parallelism", "serial") == "threads" and callable(
+        getattr(operator, "fused_sweep", None)
+    )
+
     for _ in range(iterations):
         active_counts.append(int(active.size))
         z_active = z[:, active]
         x_active = x[:, active]
         sigma = np.linalg.norm(z_active, axis=0) / np.sqrt(m)
         tau = threshold_factor * sigma
-        pseudo_data = operator.rmatmat(z_active) + x_active
-        x_new = soft_threshold(pseudo_data, tau)
+        if pipelined:
+            x_new, forward = operator.fused_sweep(
+                z_active,
+                lambda u, cols: soft_threshold(u + x_active[:, cols], tau[cols]),
+            )
+        else:
+            pseudo_data = operator.rmatmat(z_active) + x_active
+            x_new = soft_threshold(pseudo_data, tau)
+            forward = operator.matmat(x_new)
         onsager = z_active * (np.count_nonzero(x_new, axis=0) / m)
-        z[:, active] = y[:, active] - operator.matmat(x_new) + onsager
+        z[:, active] = y[:, active] - forward + onsager
 
         for position, column in enumerate(active):
             residual_norms[column].append(float(sigma[position]))

@@ -1,0 +1,447 @@
+"""Concurrency-determinism suite for parallel cross-shard dispatch.
+
+PRs 1-5 pinned every fleet invariant under serial execution; this suite
+pins that ``parallelism="threads"`` changes *nothing observable* on
+exact (noise-free, deterministic) backends.  Across a seeded
+``(shards, batch_window, B, workers)`` grid:
+
+* raw products — threaded ``matmat``/``rmatmat`` are bitwise identical
+  to serial dispatch on both the quantizing ideal-device crossbar and
+  the float-exact dense backend, with equal per-shard counters, merged
+  counters and :attr:`loads`;
+* consumers — AMP (through the pipelined ``fused_sweep`` path),
+  mixed-precision batch solves, ``CimAccelerator`` regions and the HD
+  ``classify_batch`` operator path produce identical outputs and
+  iteration histories through a threaded fleet;
+* lifecycle — drift clocks, staleness, gains and the maintenance action
+  log evolve identically under both execution modes;
+* races — concurrent callers hammering one fleet (high worker count,
+  per-shard RNG streams) lose no counter updates: per-shard stats sum
+  to merged stats and to the dispatched totals;
+* schedule purity — for every schedule, the window→shard assignment is
+  a pure function of the block's live-column pattern and prior
+  scheduler state, identical under both execution modes;
+* validation & degenerates — bad ``parallelism``/``n_workers`` reject
+  with clear errors, and B=0 / all-zero blocks behave identically (and
+  bill nothing) under threaded dispatch.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import CimAccelerator
+from repro.crossbar import (
+    PARALLELISM_MODES,
+    SHARD_SCHEDULES,
+    MixedPrecisionSolver,
+    ShardedOperator,
+    spd_test_system,
+)
+from repro.crossbar.maintenance import FleetMaintenance
+from repro.devices import PcmDevice
+from repro.ml.hd import AssociativeMemory
+from repro.signal import CsProblem, amp_recover_batch
+
+COUNTER_KEYS = (
+    "n_matvec",
+    "n_rmatvec",
+    "n_live_matvec",
+    "n_live_rmatvec",
+    "dac_conversions",
+    "adc_conversions",
+)
+
+# (shards, batch_window, B, workers): even windows, ragged last windows,
+# more shards than windows, B < batch_window, and worker counts below,
+# at, and above the shard count.
+GRID = [
+    (1, 4, 8, 1),
+    (2, 3, 8, 2),
+    (2, 4, 8, 4),
+    (3, 5, 4, 2),
+    (4, 2, 7, 8),
+]
+
+
+def counters(operator):
+    stats = operator.stats
+    return {key: stats[key] for key in COUNTER_KEYS if key in stats}
+
+
+def make_mode_pair(
+    matrix, shards, window, schedule="round_robin", workers=None, backend="crossbar"
+):
+    """Twin fleets differing only in execution mode.
+
+    Ideal-device replicas are deterministic, so any observable
+    divergence between the twins is attributable to threading alone.
+    """
+    kwargs = dict(
+        n_shards=shards,
+        batch_window=window,
+        schedule=schedule,
+        backend=backend,
+    )
+    if backend == "crossbar":
+        kwargs.update(device=PcmDevice.ideal(), seed=0)
+    serial = ShardedOperator.from_matrix(matrix, parallelism="serial", **kwargs)
+    threaded = ShardedOperator.from_matrix(
+        matrix, parallelism="threads", n_workers=workers, **kwargs
+    )
+    return serial, threaded
+
+
+def assert_fleets_identical(serial, threaded):
+    """Full observable-state identity: counters, loads, clocks, gains."""
+    assert counters(serial) == counters(threaded)
+    assert serial.stats == threaded.stats
+    assert serial.shard_stats == threaded.shard_stats
+    assert serial.loads == threaded.loads
+    assert serial.shard_ages == threaded.shard_ages
+    assert serial.shard_staleness == threaded.shard_staleness
+    assert serial.gain_dispersion() == threaded.gain_dispersion()
+
+
+class TestRawProductEquivalence:
+    @pytest.mark.parametrize("shards,window,batch,workers", GRID)
+    def test_crossbar_products_bitwise(self, shards, window, batch, workers, rng):
+        matrix = rng.standard_normal((18, 30))
+        x_block = rng.standard_normal((30, batch))
+        x_block[:, batch // 2] = 0.0  # a dead column in some window
+        z_block = rng.standard_normal((18, batch))
+        serial, threaded = make_mode_pair(matrix, shards, window, workers=workers)
+        assert np.array_equal(serial.matmat(x_block), threaded.matmat(x_block))
+        assert np.array_equal(serial.rmatmat(z_block), threaded.rmatmat(z_block))
+        assert_fleets_identical(serial, threaded)
+        threaded.shutdown()
+
+    @pytest.mark.parametrize("shards,window,batch,workers", GRID)
+    def test_exact_products_bitwise(self, shards, window, batch, workers, rng):
+        """Dense shards run the same gemm widths in both modes, so even
+        the float backend is bitwise — not merely close."""
+        matrix = rng.standard_normal((18, 30))
+        x_block = rng.standard_normal((30, batch))
+        serial, threaded = make_mode_pair(
+            matrix, shards, window, workers=workers, backend="exact"
+        )
+        assert np.array_equal(serial.matmat(x_block), threaded.matmat(x_block))
+        assert_fleets_identical(serial, threaded)
+
+    def test_interleaved_traffic_keeps_identical_state(self, rng):
+        """Scheduler state (cursor, loads) stays in lockstep across a
+        mixed matmat/rmatmat call sequence with dead windows."""
+        matrix = rng.standard_normal((18, 30))
+        serial, threaded = make_mode_pair(matrix, 3, 4, schedule="greedy", workers=2)
+        for step in range(5):
+            x_block = rng.standard_normal((30, 6 + step))
+            x_block[:, : step % 3] = 0.0
+            z_block = rng.standard_normal((18, 9 - step))
+            assert np.array_equal(serial.matmat(x_block), threaded.matmat(x_block))
+            assert serial.loads == threaded.loads
+            assert np.array_equal(serial.rmatmat(z_block), threaded.rmatmat(z_block))
+            assert serial.loads == threaded.loads
+        assert_fleets_identical(serial, threaded)
+
+
+class TestConsumers:
+    @pytest.mark.parametrize("shards,window,batch,workers", GRID)
+    def test_amp_recovery_identical(self, shards, window, batch, workers):
+        """The threaded fleet takes the pipelined fused_sweep path, so
+        this also pins fused == unfused sweeps, trajectory for
+        trajectory."""
+        problem = CsProblem.generate_batch(n=48, m=24, k=3, batch=batch, seed=11)
+        serial, threaded = make_mode_pair(problem.matrix, shards, window, workers=workers)
+        kwargs = dict(iterations=12, ground_truth=problem.signals)
+        a = amp_recover_batch(problem.measurements, serial, problem.n, **kwargs)
+        b = amp_recover_batch(problem.measurements, threaded, problem.n, **kwargs)
+        assert np.array_equal(a.estimates, b.estimates)
+        assert np.array_equal(a.iterations, b.iterations)
+        assert np.array_equal(a.converged, b.converged)
+        assert a.active_counts == b.active_counts
+        assert a.residual_norms == b.residual_norms
+        assert a.thresholds == b.thresholds
+        assert a.nmse_histories == b.nmse_histories
+        assert_fleets_identical(serial, threaded)
+        threaded.shutdown()
+
+    @pytest.mark.parametrize("shards,window,batch,workers", [(2, 3, 8, 2), (3, 5, 4, 4)])
+    def test_mixed_precision_solve_identical(self, shards, window, batch, workers, rng):
+        matrix, _ = spd_test_system(24, seed=21)
+        b_block = rng.standard_normal((24, batch))
+        b_block[:, 1] = 0.0  # zero RHS: solved by the zero vector
+        serial, threaded = make_mode_pair(matrix, shards, window, workers=workers)
+        a = MixedPrecisionSolver(matrix, operator=serial).solve_batch(
+            b_block, outer_iterations=12
+        )
+        b = MixedPrecisionSolver(matrix, operator=threaded).solve_batch(
+            b_block, outer_iterations=12
+        )
+        assert np.array_equal(a.solutions, b.solutions)
+        assert np.array_equal(a.iterations, b.iterations)
+        assert a.residual_histories == b.residual_histories
+        assert_fleets_identical(serial, threaded)
+
+    @pytest.mark.parametrize("shards,window,batch", [(2, 3, 8), (3, 5, 4)])
+    def test_accelerator_threaded_region_identical(self, shards, window, batch, rng):
+        matrix = rng.standard_normal((18, 30))
+        x_block = rng.standard_normal((30, batch))
+        z_block = rng.standard_normal((18, batch))
+        plain = CimAccelerator(analog_device=PcmDevice.ideal(), seed=0)
+        plain.store_matrix("w", matrix, n_shards=shards, batch_window=window)
+        fleet = CimAccelerator(analog_device=PcmDevice.ideal(), seed=0)
+        fleet.store_matrix(
+            "w",
+            matrix,
+            n_shards=shards,
+            batch_window=window,
+            parallelism="threads",
+            n_workers=shards,
+        )
+        assert np.array_equal(fleet.matmat("w", x_block), plain.matmat("w", x_block))
+        assert np.array_equal(fleet.rmatmat("w", z_block), plain.rmatmat("w", z_block))
+        merged, reference = fleet.stats["w"], plain.stats["w"]
+        for key in COUNTER_KEYS:
+            assert merged[key] == reference[key]
+
+    @pytest.mark.parametrize("shards,window", [(2, 3), (3, 5)])
+    def test_hd_classification_identical(self, shards, window):
+        rng = np.random.default_rng(31)
+        memory = AssociativeMemory(d=64, seed=32)
+        for label in range(5):
+            for _ in range(3):
+                memory.train(label, (rng.random(64) < 0.5).astype(np.uint8))
+        queries = (rng.random((9, 64)) < 0.5).astype(np.uint8)
+        _, bipolar = memory.bipolar_prototype_matrix()
+        serial, threaded = make_mode_pair(bipolar, shards, window, workers=shards)
+        assert memory.classify_batch(queries, operator=threaded) == (
+            memory.classify_batch(queries, operator=serial)
+        )
+        assert_fleets_identical(serial, threaded)
+
+
+class TestLifecycleIdentity:
+    @pytest.mark.parametrize("schedule", SHARD_SCHEDULES)
+    def test_maintained_aging_fleet_identical(self, schedule):
+        """Drift clocks, staleness, gains and the maintenance action log
+        evolve identically under serial and threaded dispatch."""
+        problem = CsProblem.generate_batch(n=48, m=24, k=3, batch=6, seed=41)
+        serial, threaded = make_mode_pair(
+            problem.matrix, 3, 4, schedule=schedule, workers=3
+        )
+        for fleet in (serial, threaded):
+            FleetMaintenance(
+                fleet,
+                recalibrate_after_s=50.0,
+                reprogram_after_s=500.0,
+                gain_error_threshold=0.5,
+                seed=5,
+            )
+        for epoch in range(3):
+            for fleet in (serial, threaded):
+                fleet.advance_time(40.0)
+                if epoch == 1:
+                    fleet.advance_time(30.0, shard=0)  # heterogeneous aging
+            a = amp_recover_batch(problem.measurements, serial, problem.n, iterations=4)
+            b = amp_recover_batch(problem.measurements, threaded, problem.n, iterations=4)
+            assert np.array_equal(a.estimates, b.estimates)
+            assert serial.shard_ages == threaded.shard_ages
+            assert serial.shard_staleness == threaded.shard_staleness
+        assert serial.maintenance.actions == threaded.maintenance.actions
+        assert serial.maintenance.stats == threaded.maintenance.stats
+        assert_fleets_identical(serial, threaded)
+        threaded.shutdown()
+
+
+class TestConcurrentCallers:
+    def test_no_counter_updates_lost_under_contention(self):
+        """Many caller threads hammer one noisy threaded fleet: every
+        dispatched column must land in exactly one shard's ledger, so
+        the per-shard stats sum to the merged stats and to the known
+        dispatched totals."""
+        rng = np.random.default_rng(51)
+        matrix = rng.standard_normal((12, 16))
+        fleet = ShardedOperator.from_matrix(
+            matrix,
+            n_shards=4,
+            batch_window=3,
+            parallelism="threads",
+            n_workers=16,  # far more workers than shards, to force overlap
+            stream="per_shard",
+            seed=6,
+        )
+        n_callers, calls_each, batch = 8, 6, 10
+        blocks = rng.standard_normal((n_callers, 16, batch))
+        errors = []
+
+        def hammer(caller):
+            try:
+                for _ in range(calls_each):
+                    fleet.matmat(blocks[caller])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(caller,))
+            for caller in range(n_callers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        total_columns = n_callers * calls_each * batch
+        merged = fleet.stats
+        assert merged["n_matvec"] == total_columns
+        assert merged["n_live_matvec"] == total_columns  # gaussian blocks: all live
+        assert sum(fleet.loads) == total_columns
+        summed = {}
+        for shard_stats in fleet.shard_stats:
+            for key, value in shard_stats.items():
+                summed[key] = summed.get(key, 0) + value
+        assert summed == merged
+        fleet.shutdown()
+
+    def test_per_shard_streams_are_independent_generators(self, rng):
+        matrix = rng.standard_normal((12, 16))
+        shared = ShardedOperator.from_matrix(
+            matrix, n_shards=3, batch_window=4, seed=7
+        )
+        split = ShardedOperator.from_matrix(
+            matrix, n_shards=3, batch_window=4, seed=7, stream="per_shard"
+        )
+        def generator_ids(fleet):
+            return {
+                id(shard._tiles[(0, 0)].positive._rng) for shard in fleet.shards
+            }
+
+        assert len(generator_ids(shared)) == 1  # one generator serves the fleet
+        assert len(generator_ids(split)) == 3  # one child stream per replica
+
+
+class TestSchedulePurity:
+    @pytest.mark.parametrize("schedule", SHARD_SCHEDULES)
+    def test_assignment_is_pure_function_of_block_and_state(self, schedule, rng):
+        """plan_assignments neither consumes scheduler state nor depends
+        on execution mode, and dispatching realizes exactly the plan."""
+        matrix = rng.standard_normal((18, 30))
+        serial, threaded = make_mode_pair(
+            matrix, 3, 4, schedule=schedule, workers=2, backend="exact"
+        )
+        for step in range(4):
+            block = rng.standard_normal((30, 7 + step))
+            block[:, step % 2 :: 3] = 0.0  # dead windows in the mix
+            plan = serial.plan_assignments(block)
+            assert plan == serial.plan_assignments(block)  # planning is idempotent
+            assert plan == threaded.plan_assignments(block)  # mode-independent
+            # A block with the same live-column pattern but different
+            # values plans identically: only the pattern enters.
+            rescaled = block * 3.7
+            assert plan == serial.plan_assignments(rescaled)
+            serial.matmat(block)
+            threaded.matmat(block)
+            assert serial.loads == threaded.loads
+
+    @pytest.mark.parametrize("schedule", SHARD_SCHEDULES)
+    def test_dispatch_realizes_the_plan(self, schedule, rng):
+        matrix = rng.standard_normal((18, 30))
+        fleet = ShardedOperator.from_matrix(
+            matrix, n_shards=3, batch_window=4, schedule=schedule, backend="exact"
+        )
+        block = rng.standard_normal((30, 10))
+        block[:, 5] = 0.0
+        plan = fleet.plan_assignments(block)
+        loads_before = fleet.loads
+        assert fleet.loads == loads_before  # dry run did not mutate
+        fleet.matmat(block)
+        expected = list(loads_before)
+        for start, stop, shard in plan:
+            expected[shard] += int(
+                np.count_nonzero(np.any(block[:, start:stop] != 0.0, axis=0))
+            )
+        assert fleet.loads == tuple(expected)
+
+    def test_plan_rejects_non_blocks(self, rng):
+        fleet = ShardedOperator.from_matrix(
+            rng.standard_normal((6, 8)), n_shards=2, batch_window=2, backend="exact"
+        )
+        with pytest.raises(ValueError, match="2-D"):
+            fleet.plan_assignments(np.zeros(8))
+
+
+class TestValidationAndDegenerates:
+    def test_unknown_parallelism_rejected(self, rng):
+        matrix = rng.standard_normal((6, 8))
+        with pytest.raises(ValueError, match="parallelism"):
+            ShardedOperator.from_matrix(
+                matrix, n_shards=2, batch_window=2, backend="exact",
+                parallelism="processes",
+            )
+        assert "serial" in PARALLELISM_MODES and "threads" in PARALLELISM_MODES
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5])
+    def test_bad_worker_counts_rejected(self, bad, rng):
+        matrix = rng.standard_normal((6, 8))
+        with pytest.raises(ValueError, match="n_workers"):
+            ShardedOperator.from_matrix(
+                matrix, n_shards=2, batch_window=2, backend="exact",
+                parallelism="threads", n_workers=bad,
+            )
+
+    def test_stream_validation(self, rng):
+        matrix = rng.standard_normal((6, 8))
+        with pytest.raises(ValueError, match="stream"):
+            ShardedOperator.from_matrix(
+                matrix, n_shards=2, batch_window=2, stream="per_tile"
+            )
+        with pytest.raises(ValueError, match="crossbar backend"):
+            ShardedOperator.from_matrix(
+                matrix, n_shards=2, batch_window=2, backend="exact",
+                stream="per_shard",
+            )
+
+    def test_accelerator_rejects_parallelism_without_window(self, rng):
+        accelerator = CimAccelerator(seed=0)
+        with pytest.raises(ValueError, match="batch_window"):
+            accelerator.store_matrix(
+                "w", rng.standard_normal((4, 6)), parallelism="threads"
+            )
+
+    def test_empty_batch_under_threads(self, rng):
+        matrix = rng.standard_normal((18, 30))
+        serial, threaded = make_mode_pair(matrix, 2, 3, workers=4)
+        assert threaded.matmat(np.zeros((30, 0))).shape == (18, 0)
+        assert threaded.rmatmat(np.zeros((18, 0))).shape == (30, 0)
+        x_out, q_out = threaded.fused_sweep(
+            np.zeros((18, 0)), lambda u, cols: u
+        )
+        assert x_out.shape == (30, 0) and q_out.shape == (18, 0)
+        assert_fleets_identical(serial, threaded)
+        # An empty batch never spins up the executor.
+        assert threaded._executor is None
+
+    def test_all_zero_blocks_bill_nothing_under_threads(self, rng):
+        matrix = rng.standard_normal((18, 30))
+        serial, threaded = make_mode_pair(matrix, 2, 3, workers=4)
+        assert np.array_equal(
+            serial.matmat(np.zeros((30, 5))), threaded.matmat(np.zeros((30, 5)))
+        )
+        merged = threaded.stats
+        assert merged["n_matvec"] == 5  # logical reads counted
+        assert merged["n_live_matvec"] == 0  # but nothing touched hardware
+        assert merged["dac_conversions"] == 0
+        assert merged["adc_conversions"] == 0
+        assert threaded.loads == (0, 0)  # dead windows carry no load
+        assert_fleets_identical(serial, threaded)
+        threaded.shutdown()
+
+    def test_shutdown_is_idempotent_and_recoverable(self, rng):
+        matrix = rng.standard_normal((18, 30))
+        _, threaded = make_mode_pair(matrix, 2, 3, workers=2)
+        block = rng.standard_normal((30, 6))
+        first = threaded.matmat(block)
+        threaded.shutdown()
+        threaded.shutdown()  # safe to repeat
+        assert np.array_equal(threaded.matmat(block), first)  # pool came back
+        threaded.shutdown()
