@@ -60,4 +60,13 @@ def test_ablation_correlation_detection(benchmark, write_result):
 
     benchmark(_detect_f1, 0.7, 500, 31)
 
-    write_result("ablation_correlation", table + "\n\n" + _length_sweep())
+    write_result(
+        "ablation_correlation",
+        table + "\n\n" + _length_sweep(),
+        metrics={
+            "f1_c09": scores[0.9],
+            "f1_c07": scores[0.7],
+            "f1_c01": scores[0.1],
+        },
+        gates={"f1_c09": ("higher", 0.1), "f1_c01": ("lower", 1.0)},
+    )

@@ -77,4 +77,14 @@ def test_ablation_stuck_faults(benchmark, write_result):
 
     benchmark(_mvm_error_at, 0.05, 7)
 
-    write_result("ablation_faults", table)
+    write_result(
+        "ablation_faults",
+        table,
+        metrics={
+            "mvm_error_f005": mvm_errors[0.05],
+            "mvm_error_f020": mvm_errors[0.2],
+            "hd_accuracy_f000": hd_accuracy[0.0],
+            "hd_accuracy_f005": hd_accuracy[0.05],
+        },
+        gates={"hd_accuracy_f005": ("higher", 0.05)},
+    )

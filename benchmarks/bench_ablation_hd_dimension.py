@@ -64,4 +64,13 @@ def test_ablation_hd_dimension(benchmark, write_result):
     recognizer = LanguageRecognizer(d=1024, ngram=3, seed=0)
     benchmark(recognizer.encoder.encode, "the quick brown fox jumps")
 
-    write_result("ablation_hd_dimension", table + "\n\n" + _adder_costs())
+    write_result(
+        "ablation_hd_dimension",
+        table + "\n\n" + _adder_costs(),
+        metrics={
+            "software_d4096": accuracies[4096][0],
+            "cim_d4096": accuracies[4096][1],
+            "software_d64": accuracies[64][0],
+        },
+        gates={"software_d4096": ("higher", 0.05)},
+    )

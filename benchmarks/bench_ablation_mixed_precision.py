@@ -62,4 +62,14 @@ def test_ablation_mixed_precision(benchmark, write_result):
     ) / np.linalg.norm(np.linalg.solve(matrix, b))
     assert solution_error < 1e-7
 
-    write_result("ablation_mixed_precision", _report(mixed, analog_only, operator))
+    write_result(
+        "ablation_mixed_precision",
+        _report(mixed, analog_only, operator),
+        metrics={
+            "mixed_final_residual": mixed.final_residual,
+            "analog_only_final_residual": analog_only.final_residual,
+            "crossbar_mvms": operator.n_matvec,
+            "solution_error": solution_error,
+        },
+        gates={"mixed_final_residual": ("lower", 100.0)},
+    )

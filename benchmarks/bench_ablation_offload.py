@@ -72,5 +72,14 @@ def test_ablation_offload_fraction(benchmark, write_result):
     assert low_miss.cim_ever_slower and not low_miss.cim_ever_costlier
 
     write_result(
-        "ablation_offload", _offload_table() + "\n\n" + _crossover_table()
+        "ablation_offload",
+        _offload_table() + "\n\n" + _crossover_table(),
+        metrics={
+            "x30_speedup": x30["speedup"],
+            "x30_energy_gain": x30["energy_gain"],
+        },
+        gates={
+            "x30_speedup": ("equal", 1e-6),
+            "x30_energy_gain": ("equal", 1e-6),
+        },
     )

@@ -87,4 +87,13 @@ def test_ablation_precision(benchmark, write_result):
 
     benchmark(_mvm_error, 8, PcmDevice(), 7)
 
-    write_result("ablation_precision", adc_table + "\n\n" + noise_table)
+    write_result(
+        "ablation_precision",
+        adc_table + "\n\n" + noise_table,
+        metrics={
+            "mvm_error_adc2": adc_errors[0],
+            "mvm_error_ideal": adc_errors[-1],
+            "mvm_error_sigma0": noise_errors[0],
+        },
+        gates={"mvm_error_sigma0": ("lower", 1.0)},
+    )

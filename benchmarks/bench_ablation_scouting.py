@@ -81,4 +81,13 @@ def test_ablation_scouting_margins(benchmark, write_result):
     device = BinaryMemristor()
     benchmark(_gate_error_rate, device, "xor", 1024, 5)
 
-    write_result("ablation_scouting", ratio_table + "\n\n" + noise_table)
+    write_result(
+        "ablation_scouting",
+        ratio_table + "\n\n" + noise_table,
+        metrics={
+            "xor_error_ratio100": ratio_errors[100],
+            "xor_error_ratio2": ratio_errors[2],
+            "xor_error_noise001": noise_errors[0],
+        },
+        gates={"xor_error_ratio100": ("lower", 1.0)},
+    )

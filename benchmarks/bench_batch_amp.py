@@ -19,9 +19,7 @@ and emits ``benchmarks/results/BENCH_batch_amp.json`` for CI archival:
 Run:  PYTHONPATH=src python -m pytest -q benchmarks/bench_batch_amp.py
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -36,7 +34,6 @@ N, M, K = 256, 128, 12
 ITERATIONS = 12
 MIN_SPEEDUP = 5.0
 MAX_COLUMN_REL_ERROR = 1e-10
-RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_batch_amp.json"
 
 
 def column_errors(estimates, references):
@@ -123,9 +120,6 @@ def test_batch_amp_speed_and_equivalence(write_result):
         "serial_readout_cycles": batched.readout_cycles("serial"),
         "parallel_readout_cycles": batched.readout_cycles("parallel"),
     }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-
     lines = [
         "Batched AMP recovery - batch-64 fleet benchmark",
         f"  problem               : N={N}, M={M}, k={K}, B={BATCH}, "
@@ -139,9 +133,14 @@ def test_batch_amp_speed_and_equivalence(write_result):
         f"{crossbar_nmse.max():.1e}",
         f"  counter-driven energy : {counted['total_energy_j'] * 1e6:8.2f} uJ "
         f"({counted['total_energy_j'] / BATCH * 1e6:.3f} uJ / signal)",
-        f"  [json written to {RESULTS_PATH}]",
     ]
-    write_result("batch_amp", "\n".join(lines))
+    write_result(
+        "batch_amp",
+        "\n".join(lines),
+        config={"n": N, "m": M, "k": K, "batch": BATCH, "iterations": ITERATIONS},
+        gates={"speedup": ("higher", 0.8), "crossbar_nmse_max": ("lower", 1.0)},
+        gate_json=payload,
+    )
 
     assert speedup >= MIN_SPEEDUP
     assert max_rel_error <= MAX_COLUMN_REL_ERROR

@@ -17,9 +17,6 @@ Guards the readout-schedule layer end-to-end and emits
 Run:  PYTHONPATH=src python -m pytest -q benchmarks/bench_batch_energy.py
 """
 
-import json
-from pathlib import Path
-
 import numpy as np
 import pytest
 
@@ -27,7 +24,6 @@ from repro.crossbar import CrossbarOperator
 from repro.energy import CrossbarCostModel, FpgaMvmDesign
 
 BATCHES = (1, 8, 64)
-RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_batch_energy.json"
 
 
 def test_batch_energy_accounting(write_result):
@@ -73,9 +69,6 @@ def test_batch_energy_accounting(write_result):
             "adc_conversions": operator.stats["adc_conversions"],
         },
     }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-
     serial = schedules["serial"]
     parallel = schedules["parallel"]
 
@@ -118,9 +111,17 @@ def test_batch_energy_accounting(write_result):
         f"  FPGA B=64             : {payload['fpga_batch64_energy_j'] * 1e6:8.0f} uJ",
         f"  counter-driven matmat : {counted['total_energy_j'] * 1e9:8.1f} nJ for "
         f"{payload['counter_driven']['adc_conversions']} ADC conversions",
-        f"  [json written to {RESULTS_PATH}]",
     ]
-    write_result("batch_energy", "\n".join(lines))
+    write_result(
+        "batch_energy",
+        "\n".join(lines),
+        config={"batches": list(BATCHES)},
+        gates={
+            "anchor_serial_b1_nj": ("equal", 1e-6),
+            "mvm_energy_nj": ("equal", 1e-6),
+        },
+        gate_json=payload,
+    )
 
 
 def model_for(operator: CrossbarOperator) -> CrossbarCostModel:

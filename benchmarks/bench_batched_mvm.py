@@ -83,7 +83,23 @@ def test_batched_vs_looped_smoke(write_result):
         f"  looped error vs exact: {looped_error:8.2%}",
         f"  batched error vs exact: {batched_error:7.2%}  (may not exceed looped + 1%)",
     ]
-    write_result("batched_mvm", "\n".join(lines))
+    write_result(
+        "batched_mvm",
+        "\n".join(lines),
+        config={"batch": BATCH, "layer_dims": list(network.layer_dims)},
+        metrics={
+            "speedup": speedup,
+            "looped_s": looped_s,
+            "batched_s": batched_s,
+            "exact_divergence": exact_divergence,
+            "looped_error": looped_error,
+            "batched_error": batched_error,
+        },
+        gates={
+            "speedup": ("higher", 0.8),
+            "exact_divergence": ("lower", 1.0),
+        },
+    )
 
     assert speedup >= MIN_SPEEDUP
     assert exact_divergence <= MAX_DIVERGENCE

@@ -21,9 +21,6 @@ CI archival:
 Run:  PYTHONPATH=src python -m pytest -q benchmarks/bench_drift_fleet.py
 """
 
-import json
-from pathlib import Path
-
 import numpy as np
 
 from repro.crossbar import FleetMaintenance, ShardedOperator
@@ -51,7 +48,6 @@ COUNTER_KEYS = (
     "n_reprograms",
     "n_program_pulses",
 )
-RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_drift_fleet.json"
 
 
 def build_fleet(problem, **kwargs):
@@ -144,9 +140,6 @@ def test_drift_fleet_lifecycle(write_result):
         "exact_bitwise_equal": bitwise_equal,
         "exact_counters_equal": counters_equal,
     }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-
     lines = [
         "Drift-aware fleet lifecycle - stale vs maintained at age 1e6 s",
         f"  problem               : A {M}x{N}, B={BATCH}, "
@@ -167,9 +160,29 @@ def test_drift_fleet_lifecycle(write_result):
         f"{policy.n_reprograms} reprograms",
         f"  exact bitwise gate    : {bitwise_equal}",
         f"  exact counters gate   : {counters_equal}",
-        f"  [json written to {RESULTS_PATH}]",
     ]
-    write_result("drift_fleet", "\n".join(lines))
+    write_result(
+        "drift_fleet",
+        "\n".join(lines),
+        config={
+            "n": N,
+            "m": M,
+            "k": K,
+            "batch": BATCH,
+            "shards": SHARDS,
+            "window": WINDOW,
+            "age_s": AGE_S,
+            "iterations": ITERATIONS,
+        },
+        gates={
+            "maintained_nmse": ("lower", 1.0),
+            "stale_nmse": ("lower", 1.0),
+            "maintenance_fraction": ("lower", 1.0),
+            "exact_bitwise_equal": ("equal", 0.5),
+            "exact_counters_equal": ("equal", 0.5),
+        },
+        gate_json=payload,
+    )
 
     assert nmse_gain >= MIN_NMSE_GAIN
     assert maintenance_fraction <= MAX_MAINTENANCE_FRACTION

@@ -28,4 +28,4 @@ def test_fig2_scouting_logic(benchmark, write_result):
     assert result.metrics["gate_errors"] == 0  # exact truth tables
     assert result.metrics["query_matches_reference"] == 1.0
     assert result.metrics["query_cim_ops"] == 1  # one multi-row AND
-    write_result("fig2_scouting", result.text)
+    write_result("fig2_scouting", result)

@@ -23,4 +23,4 @@ def test_fig3_delay_planes(benchmark, write_result):
         < metrics["max_speedup_x90"]
     )
 
-    write_result("fig3_delay", result.text)
+    write_result("fig3_delay", result)

@@ -21,4 +21,4 @@ def test_fig4_energy_planes(benchmark, write_result):
         < metrics["max_energy_gain_x90"]
     )
 
-    write_result("fig4_energy", result.text)
+    write_result("fig4_energy", result)

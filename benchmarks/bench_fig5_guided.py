@@ -35,4 +35,4 @@ def test_fig5_guided_filtering(benchmark, write_result):
     transferred = guided_filter(guide, target, radius=4, eps=1e-4)
     assert np.mean(np.abs(transferred - guide)) < np.mean(np.abs(target - guide))
 
-    write_result("fig5_guided", result.text)
+    write_result("fig5_guided", result)

@@ -20,4 +20,4 @@ def test_fig6_amp_recovery(benchmark, write_result):
     assert metrics["crossbar_nmse"] < 5e-2
     assert metrics["n_matvec"] == metrics["n_rmatvec"]
 
-    write_result("fig6_amp", result.text)
+    write_result("fig6_amp", result)

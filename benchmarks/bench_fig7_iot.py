@@ -33,4 +33,4 @@ def test_fig7_iot_inference(benchmark, write_result):
     cim = CimNetwork(quantize_network(network, 4), seed=4)
     benchmark(cim.forward_one, x_test[0])
 
-    write_result("fig7_iot", result.text)
+    write_result("fig7_iot", result)

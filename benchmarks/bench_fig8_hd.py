@@ -31,4 +31,4 @@ def test_fig8_hd_accuracy(benchmark, write_result):
     query = recognizer.encoder.encode("the quick brown fox jumps over the lazy dog")
     benchmark(memory.classify, query)
 
-    write_result("fig8_hd", result.text)
+    write_result("fig8_hd", result)

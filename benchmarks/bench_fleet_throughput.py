@@ -37,10 +37,8 @@ and the pinning state so trend lines across runners stay comparable.
 Run:  PYTHONPATH=src python -m pytest -q benchmarks/bench_fleet_throughput.py
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -73,7 +71,6 @@ COUNTER_KEYS = (
     "dac_conversions",
     "adc_conversions",
 )
-RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_fleet_throughput.json"
 
 
 def available_cores() -> int:
@@ -222,9 +219,6 @@ def test_fleet_throughput_trend_and_equivalence(write_result):
         "ideal_crossbar_bitwise_equal": crossbar_bitwise,
         "ideal_crossbar_counters_equal": crossbar_counters_equal,
     }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-
     lines = [
         "Fleet throughput trend - parallel vs serial cross-shard dispatch",
         f"  problem               : A {M}x{N}, B={BATCH} (dense exact backend)",
@@ -255,9 +249,32 @@ def test_fleet_throughput_trend_and_equivalence(write_result):
         f"(counters {crossbar_counters_equal})",
         f"  gate                  : measured {gate_ratio:.2f}x vs required "
         f"{gate_value}x -> {'PASS' if gate_passed else 'FAIL'}",
-        f"  [json written to {RESULTS_PATH}]",
     ]
-    write_result("fleet_throughput", "\n".join(lines))
+    write_result(
+        "fleet_throughput",
+        "\n".join(lines),
+        config={
+            "m": M,
+            "n": N,
+            "batch": BATCH,
+            "shard_counts": list(SHARD_COUNTS),
+            "gate_shards": GATE_SHARDS,
+            "cores": cores,
+        },
+        metrics={
+            "gate_speedup": gate_ratio,
+            "gate_scaling_efficiency": gate_entry["scaling_efficiency"],
+            "gate_passed": gate_passed,
+        },
+        gates={
+            "gate_speedup": ("higher", 0.9),
+            "gate_scaling_efficiency": ("higher", 0.9),
+            "gate_passed": ("equal", 0.5),
+            "dense_bitwise_equal": ("equal", 0.5),
+            "ideal_crossbar_bitwise_equal": ("equal", 0.5),
+        },
+        gate_json=payload,
+    )
 
     # The bitwise gates never relax, whatever the runner's core count.
     assert dense_bitwise and dense_state_equal

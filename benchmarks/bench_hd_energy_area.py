@@ -18,4 +18,4 @@ def test_hd_energy_area(benchmark, write_result):
     assert metrics["energy_improvement"] == pytest.approx(5.0, rel=0.05)
     assert 1e2 <= metrics["replaceable_energy_improvement"] <= 1e3
 
-    write_result("hd_energy_area", result.text)
+    write_result("hd_energy_area", result)

@@ -22,9 +22,7 @@ for CI archival:
 Run:  PYTHONPATH=src python -m pytest -q benchmarks/bench_sharded_fleet.py
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -46,7 +44,6 @@ COUNTER_KEYS = (
     "dac_conversions",
     "adc_conversions",
 )
-RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_sharded_fleet.json"
 
 
 def column_errors(estimates, references):
@@ -127,9 +124,6 @@ def test_sharded_fleet_speed_and_invariants(write_result):
         "merged_counter_energy_j": counted["total_energy_j"],
         "merged_counters": {key: merged[key] for key in COUNTER_KEYS},
     }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-
     lines = [
         "Sharded fleet scheduler - batch-256 window-dispatch benchmark",
         f"  problem               : A {M}x{N}, B={BATCH}, "
@@ -142,9 +136,24 @@ def test_sharded_fleet_speed_and_invariants(write_result):
         f"  ideal-crossbar bitwise: {bitwise_equal}",
         f"  merged counters equal : {counters_equal}",
         f"  merged-counter energy : {counted['total_energy_j'] * 1e6:8.2f} uJ",
-        f"  [json written to {RESULTS_PATH}]",
     ]
-    write_result("sharded_fleet", "\n".join(lines))
+    write_result(
+        "sharded_fleet",
+        "\n".join(lines),
+        config={
+            "batch": BATCH,
+            "n": N,
+            "m": M,
+            "window": WINDOW,
+            "shards": SHARDS,
+        },
+        gates={
+            "speedup": ("higher", 0.9),
+            "ideal_crossbar_bitwise_equal": ("equal", 0.5),
+            "merged_counters_equal": ("equal", 0.5),
+        },
+        gate_json=payload,
+    )
 
     assert speedup >= MIN_SPEEDUP
     assert max_rel_error <= MAX_COLUMN_REL_ERROR

@@ -33,4 +33,4 @@ def test_table1_mvm_energy(benchmark, write_result):
     observed = benchmark(operator.matvec, x)
     assert np.linalg.norm(observed - matrix @ x) / np.linalg.norm(matrix @ x) < 0.15
 
-    write_result("table1_mvm", result.text)
+    write_result("table1_mvm", result)

@@ -1,26 +1,35 @@
 """Shared helpers for the benchmark harness.
 
 Each benchmark module regenerates one table or figure of the paper,
-prints it, and writes it to ``benchmarks/results/<name>.txt`` so the
-output survives pytest's capture (run with ``--benchmark-only``).
+prints it, and hands it to the :class:`~_harness.BenchRecorder` — which
+writes ``<results dir>/<name>.txt``, keeps the gated ``BENCH_*.json``
+files in their existing schema, and records one run row (config,
+metrics, gates, report document) in the experiment store so
+``python -m repro.results`` can regenerate and trend everything.
 EXPERIMENTS.md records the paper-vs-measured comparison per file.
-"""
 
-from pathlib import Path
+The results directory defaults to ``benchmarks/results``; override with
+``--results-dir`` or ``REPRO_RESULTS_DIR`` (run with
+``--benchmark-only`` to skip assertions-only collection).
+"""
 
 import pytest
 
-RESULTS_DIR = Path(__file__).parent / "results"
+from _harness import BenchRecorder
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--results-dir",
+        default=None,
+        help="directory for bench text/JSON results and the results DB "
+        "(default: REPRO_RESULTS_DIR or benchmarks/results)",
+    )
 
 
 @pytest.fixture(scope="session")
-def write_result():
+def write_result(request):
     """Persist one experiment's regenerated rows to the results dir."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-
-    def _write(name: str, text: str) -> None:
-        path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n")
-        print(f"\n{text}\n[written to {path}]")
-
-    return _write
+    recorder = BenchRecorder(request.config.getoption("--results-dir"))
+    yield recorder
+    recorder.close()

@@ -6,6 +6,10 @@ Usage::
     python -m repro run fig3          # regenerate one experiment
     python -m repro run all           # regenerate everything
     python -m repro run fig6 -o out/  # also write <out>/fig6.txt
+
+Every ``run`` also records the structured result (config, metrics,
+gates, report document) in the experiment store — ``--db PATH``
+overrides the default resolver, ``--no-db`` skips persistence.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ import sys
 from pathlib import Path
 
 from repro.experiments import REGISTRY
+from repro.results.store import ResultsStore, set_active_store
 
 
 def _cmd_list() -> int:
@@ -25,7 +30,7 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(names: list[str], out_dir: str | None) -> int:
+def _cmd_run(names: list[str], out_dir: str | None, db: str | None, no_db: bool) -> int:
     if names == ["all"]:
         names = list(REGISTRY)
     unknown = [name for name in names if name not in REGISTRY]
@@ -33,6 +38,17 @@ def _cmd_run(names: list[str], out_dir: str | None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print("run 'python -m repro list' to see the registry", file=sys.stderr)
         return 2
+    store = None if no_db else ResultsStore(db)
+    set_active_store(store)
+    try:
+        return _run_reports(names, out_dir)
+    finally:
+        set_active_store(None)
+        if store is not None:
+            store.close()
+
+
+def _run_reports(names: list[str], out_dir: str | None) -> int:
     for name in names:
         _, report_fn = REGISTRY[name]
         result = report_fn()
@@ -52,6 +68,16 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="Regenerate tables/figures of Hamdioui et al., DATE 2019.",
     )
+    parser.add_argument(
+        "--db",
+        default=None,
+        help="experiment-store DB path (default: resolver / $REPRO_RESULTS_DB)",
+    )
+    parser.add_argument(
+        "--no-db",
+        action="store_true",
+        help="do not record results in the experiment store",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list available experiments")
     run_parser = subparsers.add_parser("run", help="run experiments")
@@ -64,7 +90,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    return _cmd_run(args.names, args.out)
+    return _cmd_run(args.names, args.out, args.db, args.no_db)
 
 
 if __name__ == "__main__":

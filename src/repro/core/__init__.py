@@ -12,12 +12,23 @@
 """
 
 from repro.core.accelerator import CimAccelerator
-from repro.core.report import format_series, format_table
+from repro.core.report import (
+    ReportDocument,
+    ReportSeries,
+    ReportTable,
+    ReportText,
+    format_series,
+    format_table,
+)
 from repro.core.system import OffloadedProgram
 
 __all__ = [
     "CimAccelerator",
     "OffloadedProgram",
+    "ReportDocument",
+    "ReportSeries",
+    "ReportTable",
+    "ReportText",
     "format_series",
     "format_table",
 ]

@@ -3,13 +3,33 @@
 Every benchmark regenerates its figure/table as text through these
 helpers, so the paper's rows can be compared at a glance (and written
 to ``benchmarks/results/``).
+
+Reports are built from *structured blocks* — :class:`ReportTable`,
+:class:`ReportSeries` and :class:`ReportText` — collected in a
+:class:`ReportDocument`.  A block renders to exactly the ASCII the
+legacy ``format_table``/``format_series`` helpers produced (those
+helpers now delegate to the block classes), and round-trips through a
+JSON payload, so the results store can persist a report's structure and
+:mod:`repro.results.report_builder` can regenerate the text
+byte-for-byte from the database.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-__all__ = ["format_table", "format_series"]
+import numpy as np
+
+__all__ = [
+    "ReportDocument",
+    "ReportSeries",
+    "ReportTable",
+    "ReportText",
+    "block_from_payload",
+    "format_table",
+    "format_series",
+]
 
 
 def _render_cell(value: object, precision: int) -> str:
@@ -25,6 +45,191 @@ def _render_cell(value: object, precision: int) -> str:
     return str(value)
 
 
+def _jsonify(value: object) -> object:
+    """Coerce numpy scalars to plain Python so payloads JSON-serialize.
+
+    The coercions preserve rendering: ``numpy`` booleans/integers/floats
+    format identically to their builtin counterparts under
+    ``_render_cell``.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return value
+
+
+@dataclass(frozen=True)
+class ReportTable:
+    """One aligned ASCII table: headers, rows and an optional title."""
+
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    precision: int = 4
+    title: str | None = None
+
+    def __init__(
+        self,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        precision: int = 4,
+        title: str | None = None,
+    ) -> None:
+        object.__setattr__(self, "headers", tuple(str(h) for h in headers))
+        object.__setattr__(
+            self,
+            "rows",
+            tuple(tuple(_jsonify(cell) for cell in row) for row in rows),
+        )
+        object.__setattr__(self, "precision", int(precision))
+        object.__setattr__(self, "title", title)
+        for row in self.rows:
+            if len(row) != len(self.headers):
+                raise ValueError("row length does not match header length")
+
+    def render(self) -> str:
+        rendered = [
+            [_render_cell(cell, self.precision) for cell in row]
+            for row in self.rows
+        ]
+        widths = [len(h) for h in self.headers]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths)).rstrip()
+        )
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in rendered:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "table",
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "precision": self.precision,
+            "title": self.title,
+        }
+
+
+@dataclass(frozen=True)
+class ReportSeries:
+    """One named numeric series rendered on a single line."""
+
+    name: str
+    values: tuple[float, ...]
+    precision: int = 4
+
+    def __init__(
+        self, name: str, values: Iterable[float], precision: int = 4
+    ) -> None:
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "values", tuple(float(v) for v in values))
+        object.__setattr__(self, "precision", int(precision))
+
+    def render(self) -> str:
+        cells = ", ".join(
+            _render_cell(v, self.precision) for v in self.values
+        )
+        return f"{self.name}: [{cells}]"
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "series",
+            "name": self.name,
+            "values": list(self.values),
+            "precision": self.precision,
+        }
+
+
+@dataclass(frozen=True)
+class ReportText:
+    """A raw text block (one or more pre-rendered lines).
+
+    ``ReportText("")`` is the blank separator line between sections.
+    """
+
+    text: str = ""
+
+    def render(self) -> str:
+        return self.text
+
+    def to_payload(self) -> dict:
+        return {"kind": "text", "text": self.text}
+
+
+#: Any renderable report block.
+ReportBlock = ReportTable | ReportSeries | ReportText
+
+
+def block_from_payload(payload: dict) -> ReportBlock:
+    """Rebuild one block from its :meth:`to_payload` dictionary."""
+    kind = payload.get("kind")
+    if kind == "table":
+        return ReportTable(
+            payload["headers"],
+            payload["rows"],
+            precision=payload.get("precision", 4),
+            title=payload.get("title"),
+        )
+    if kind == "series":
+        return ReportSeries(
+            payload["name"],
+            payload["values"],
+            precision=payload.get("precision", 4),
+        )
+    if kind == "text":
+        return ReportText(payload.get("text", ""))
+    raise ValueError(f"unknown report block kind: {kind!r}")
+
+
+@dataclass
+class ReportDocument:
+    """An ordered list of blocks; renders by joining blocks with newlines.
+
+    A blank :class:`ReportText` therefore produces the conventional
+    empty line between two sections.
+    """
+
+    blocks: list[ReportBlock] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.blocks = [self._coerce(block) for block in self.blocks]
+
+    @staticmethod
+    def _coerce(block: object) -> ReportBlock:
+        if isinstance(block, (ReportTable, ReportSeries, ReportText)):
+            return block
+        if isinstance(block, str):
+            return ReportText(block)
+        raise TypeError(f"not a report block: {block!r}")
+
+    def append(self, block: ReportBlock | str) -> None:
+        self.blocks.append(self._coerce(block))
+
+    def render(self) -> str:
+        return "\n".join(block.render() for block in self.blocks)
+
+    def tables(self) -> list[ReportTable]:
+        return [b for b in self.blocks if isinstance(b, ReportTable)]
+
+    def to_payload(self) -> dict:
+        return {"blocks": [block.to_payload() for block in self.blocks]}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ReportDocument":
+        return cls([block_from_payload(b) for b in payload.get("blocks", ())])
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],
@@ -38,28 +243,11 @@ def format_table(
     --+----
     1 | 2.5
     """
-    rendered = [[_render_cell(cell, precision) for cell in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in rendered:
-        if len(row) != len(widths):
-            raise ValueError("row length does not match header length")
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
-    lines.append("-+-".join("-" * w for w in widths))
-    for row in rendered:
-        lines.append(
-            " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
-        )
-    return "\n".join(lines)
+    return ReportTable(headers, rows, precision=precision, title=title).render()
 
 
 def format_series(
     name: str, values: Iterable[float], precision: int = 4
 ) -> str:
     """Render one named numeric series on a single line."""
-    cells = ", ".join(_render_cell(float(v), precision) for v in values)
-    return f"{name}: [{cells}]"
+    return ReportSeries(name, (float(v) for v in values), precision).render()

@@ -1,11 +1,18 @@
 """Programmatic regeneration of every table and figure of the paper.
 
 Each ``<experiment>_report()`` function runs one experiment and returns
-an :class:`ExperimentResult` holding the formatted text (the same rows
-the paper plots) and a metrics dictionary with the headline numbers.
-The benchmark harness (``benchmarks/``) asserts the published anchors
-against these metrics; the command line (``python -m repro``) prints
-the text.
+an :class:`ExperimentResult` holding the report as *structured blocks*
+(:class:`~repro.core.report.ReportDocument` — the same rows the paper
+plots, rendering to the exact historical text) and a metrics dictionary
+with the headline numbers.  The benchmark harness (``benchmarks/``)
+asserts the published anchors against these metrics; the command line
+(``python -m repro``) prints the rendered text.
+
+Every report auto-persists into the active results store (see
+:mod:`repro.results`): one run row with git SHA, timestamp, config and
+host info, the metrics (gated ones carry their regression rule for the
+CI history diff), and the block document the report builder regenerates
+byte-for-byte.  With no active store, reports are side-effect free.
 
 >>> from repro.experiments import table1_report
 >>> result = table1_report()
@@ -15,6 +22,7 @@ the text.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field
 
@@ -22,7 +30,12 @@ import numpy as np
 
 from repro.analytics import QuerySelect
 from repro.arch import banked_offload_rows, miss_rate_sweep
-from repro.core.report import format_series, format_table
+from repro.core.report import (
+    ReportDocument,
+    ReportSeries,
+    ReportTable,
+    ReportText,
+)
 from repro.crossbar import (
     CrossbarOperator,
     DenseOperator,
@@ -39,6 +52,7 @@ from repro.energy import (
     sharded_readout_rows,
 )
 from repro.imaging import NeighborhoodAccessModel, bilateral_filter, guided_filter
+from repro.results.store import record_experiment
 from repro.logic import ScoutingLogic
 from repro.ml.hd import GestureRecognizer, LanguageRecognizer
 from repro.ml.nn import CimNetwork, Sequential, quantize_network, train_classifier
@@ -70,20 +84,46 @@ __all__ = [
 
 @dataclass
 class ExperimentResult:
-    """One regenerated experiment: its text report and headline metrics."""
+    """One regenerated experiment: structured report + headline metrics.
+
+    ``document`` holds the report as renderable blocks; ``text`` is the
+    rendered ASCII (identical to the historical string reports).
+    ``config`` records the report's parameters for the run row, and
+    ``gates`` attaches regression rules (``(direction, rel_tol)``) to
+    the metrics the CI history diff guards.
+    """
 
     name: str
-    text: str
+    document: ReportDocument
     metrics: dict[str, float] = field(default_factory=dict)
+    config: dict[str, object] = field(default_factory=dict)
+    gates: dict[str, tuple[str, float]] = field(default_factory=dict)
 
-    def __str__(self) -> str:  # pragma: no cover - convenience
+    @property
+    def text(self) -> str:
+        return self.document.render()
+
+    def __str__(self) -> str:
         return self.text
+
+
+def _persisted(report_fn):
+    """Auto-persist a report function's result into the active store."""
+
+    @functools.wraps(report_fn)
+    def wrapper(*args, **kwargs):
+        result = report_fn(*args, **kwargs)
+        record_experiment(result)
+        return result
+
+    return wrapper
 
 
 # ---------------------------------------------------------------------------
 # Fig. 2 — scouting logic
 # ---------------------------------------------------------------------------
 
+@_persisted
 def fig2_report(seed: int = 0) -> ExperimentResult:
     """Sensing levels, gate truth tables and the star-catalog query."""
     logic = ScoutingLogic(BinaryMemristor(variability=0.0, read_noise=0.0), seed=seed)
@@ -105,7 +145,7 @@ def fig2_report(seed: int = 0) -> ExperimentResult:
                 outputs["xor"],
             )
         )
-    truth_table = format_table(
+    truth_table = ReportTable(
         ("inputs", "I_in [uA]", "OR", "AND", "XOR"),
         truth_rows,
         title="Fig. 2(c): sensed column current and gate outputs:",
@@ -125,11 +165,19 @@ def fig2_report(seed: int = 0) -> ExperimentResult:
     correct = np.array_equal(mask, query.run_reference(index))
     return ExperimentResult(
         name="fig2",
-        text=truth_table + "\n\n" + "\n".join(query_lines),
+        document=ReportDocument(
+            [truth_table, ReportText("")]
+            + [ReportText(line) for line in query_lines]
+        ),
         metrics={
             "gate_errors": float(gate_errors),
             "query_matches_reference": float(correct),
             "query_cim_ops": float(engine.n_ops),
+        },
+        config={"seed": seed},
+        gates={
+            "gate_errors": ("equal", 0.5),
+            "query_matches_reference": ("equal", 0.5),
         },
     )
 
@@ -138,14 +186,14 @@ def fig2_report(seed: int = 0) -> ExperimentResult:
 # Figs. 3 & 4 — architecture sweeps
 # ---------------------------------------------------------------------------
 
-def _delay_plane_table(x_fraction: float) -> str:
+def _delay_plane_table(x_fraction: float) -> ReportTable:
     sweep = miss_rate_sweep(x_fraction)
     rows = [
         (f"{m1:.2f}", f"{m2:.2f}", round(conv, 3), round(cim, 3),
          round(conv / cim, 2))
         for (m1, m2, conv, cim, _, _) in sweep.rows()
     ]
-    return format_table(
+    return ReportTable(
         ("L1 miss", "L2 miss", "conv delay (norm)", "CIM delay (norm)", "speedup"),
         rows,
         title=(
@@ -155,11 +203,12 @@ def _delay_plane_table(x_fraction: float) -> str:
     )
 
 
+@_persisted
 def fig3_report() -> ExperimentResult:
     """Normalized delay planes for X in {30, 60, 90} %."""
     sweeps = {x: miss_rate_sweep(x) for x in (0.3, 0.6, 0.9)}
     banked = banked_offload_rows(bank_counts=(1, 4, 16, 64))
-    banked_table = format_table(
+    banked_table = ReportTable(
         ("ADC banks", "speedup", "energy gain", "CIM delay [ns]"),
         [
             (
@@ -175,10 +224,13 @@ def fig3_report() -> ExperimentResult:
             "converter-bank counts between the serial/parallel endpoints:"
         ),
     )
-    text = "\n\n".join(_delay_plane_table(x) for x in sweeps) + "\n\n" + banked_table
+    blocks: list = []
+    for x in sweeps:
+        blocks.extend([_delay_plane_table(x), ReportText("")])
+    blocks.append(banked_table)
     return ExperimentResult(
         name="fig3",
-        text=text,
+        document=ReportDocument(blocks),
         metrics={
             "max_speedup_x30": sweeps[0.3].max_speedup,
             "max_speedup_x60": sweeps[0.6].max_speedup,
@@ -189,17 +241,21 @@ def fig3_report() -> ExperimentResult:
             "banked_speedup_k1": banked[0]["speedup"],
             "banked_speedup_k16": banked[2]["speedup"],
         },
+        gates={
+            "max_speedup_x90": ("equal", 1e-6),
+            "banked_speedup_k16": ("equal", 1e-6),
+        },
     )
 
 
-def _energy_plane_table(x_fraction: float) -> str:
+def _energy_plane_table(x_fraction: float) -> ReportTable:
     sweep = miss_rate_sweep(x_fraction)
     rows = [
         (f"{m1:.2f}", f"{m2:.2f}", round(conv_e, 3), round(cim_e, 3),
          round(conv_e / cim_e, 2))
         for (m1, m2, _, _, conv_e, cim_e) in sweep.rows()
     ]
-    return format_table(
+    return ReportTable(
         ("L1 miss", "L2 miss", "conv energy (norm)", "CIM energy (norm)", "gain"),
         rows,
         title=(
@@ -209,13 +265,18 @@ def _energy_plane_table(x_fraction: float) -> str:
     )
 
 
+@_persisted
 def fig4_report() -> ExperimentResult:
     """Normalized energy planes for X in {30, 60, 90} %."""
     sweeps = {x: miss_rate_sweep(x) for x in (0.3, 0.6, 0.9)}
-    text = "\n\n".join(_energy_plane_table(x) for x in sweeps)
+    blocks: list = []
+    for i, x in enumerate(sweeps):
+        if i:
+            blocks.append(ReportText(""))
+        blocks.append(_energy_plane_table(x))
     return ExperimentResult(
         name="fig4",
-        text=text,
+        document=ReportDocument(blocks),
         metrics={
             "max_energy_gain_x30": sweeps[0.3].max_energy_gain,
             "max_energy_gain_x60": sweeps[0.6].max_energy_gain,
@@ -224,6 +285,10 @@ def fig4_report() -> ExperimentResult:
                 any(sweeps[x].cim_ever_costlier for x in sweeps)
             ),
         },
+        gates={
+            "max_energy_gain_x90": ("equal", 1e-6),
+            "cim_ever_costlier": ("equal", 0.5),
+        },
     )
 
 
@@ -231,11 +296,12 @@ def fig4_report() -> ExperimentResult:
 # Table I — FPGA vs crossbar
 # ---------------------------------------------------------------------------
 
+@_persisted
 def table1_report() -> ExperimentResult:
     """The FPGA resource table and the derived crossbar comparison."""
     fpga = FpgaMvmDesign()
     xbar = CrossbarCostModel()
-    resource = format_table(
+    resource = ReportTable(
         ("LUT", "FF", "BRAM", "f [MHz]", "Pstatic [W]", "Pdynamic [W]"),
         [
             (
@@ -249,7 +315,7 @@ def table1_report() -> ExperimentResult:
         ],
         title="Table I: FPGA resource utilization and power (xckul15):",
     )
-    comparison = format_table(
+    comparison = ReportTable(
         ("metric", "FPGA 4-bit", "PCM crossbar", "advantage"),
         [
             ("MVM latency", f"{fpga.mvm_latency_s() * 1e9:.0f} ns",
@@ -269,7 +335,7 @@ def table1_report() -> ExperimentResult:
     batch = 64
     serial = xbar.batch_readout(batch, "serial")
     parallel = xbar.batch_readout(batch, "parallel")
-    batch_table = format_table(
+    batch_table = ReportTable(
         ("metric", "serial reuse", "parallel converters", f"FPGA batch-{batch}"),
         [
             ("latency / batch", f"{serial.latency_s * 1e6:.0f} us",
@@ -301,7 +367,7 @@ def table1_report() -> ExperimentResult:
         mux_energy_per_level_fraction=0.05, mux_area_per_level_fraction=0.10
     )
     bank_reports = [muxed.batch_readout(batch, banks=k) for k in (1, 4, 16, 64)]
-    banked_table = format_table(
+    banked_table = ReportTable(
         ("banks", "mux depth", "latency", "energy / batch", "area", "peak power"),
         [
             (
@@ -321,8 +387,17 @@ def table1_report() -> ExperimentResult:
     )
     return ExperimentResult(
         name="table1",
-        text=resource + "\n\n" + comparison + "\n\n" + batch_table + "\n\n"
-        + banked_table,
+        document=ReportDocument(
+            [
+                resource,
+                ReportText(""),
+                comparison,
+                ReportText(""),
+                batch_table,
+                ReportText(""),
+                banked_table,
+            ]
+        ),
         metrics={
             "fpga_latency_ns": fpga.mvm_latency_s() * 1e9,
             "fpga_energy_uj": fpga.mvm_energy_j() * 1e6,
@@ -342,6 +417,12 @@ def table1_report() -> ExperimentResult:
                 xbar.readout_mux_depth(batch, banks=16)
             ),
         },
+        gates={
+            "crossbar_energy_nj": ("equal", 1e-6),
+            "serial_b1_energy_nj": ("equal", 1e-6),
+            "power_advantage": ("equal", 1e-6),
+            "energy_advantage": ("equal", 1e-6),
+        },
     )
 
 
@@ -349,6 +430,7 @@ def table1_report() -> ExperimentResult:
 # Fig. 5 — image filtering
 # ---------------------------------------------------------------------------
 
+@_persisted
 def fig5_report(size: int = 64, seed: int = 0) -> ExperimentResult:
     """Edge-preserving filtering behaviour and the CIM-P access model."""
     clean = edge_texture_image(size, size, texture_amplitude=0.0, seed=seed)
@@ -373,7 +455,7 @@ def fig5_report(size: int = 64, seed: int = 0) -> ExperimentResult:
         noise, edge = metrics_of(image)
         measured[name] = (noise, edge)
         rows.append((name, f"{noise:.4f}", f"{edge:.3f}"))
-    behaviour = format_table(
+    behaviour = ReportTable(
         ("image", "residual noise", "edge contrast"),
         rows,
         title=f"Fig. 5: edge-preserving smoothing behaviour ({size}x{size}):",
@@ -389,7 +471,7 @@ def fig5_report(size: int = 64, seed: int = 0) -> ExperimentResult:
         )
         for row in model.comparison_rows(size, size, radii=(3, 4, 5))
     ]
-    access = format_table(
+    access = ReportTable(
         ("window", "SRAM accesses", "CIM activations", "energy gain"),
         access_rows,
         title="Sec. III.A: neighbourhood gather, scratchpad vs CIM-P decoder:",
@@ -404,7 +486,9 @@ def fig5_report(size: int = 64, seed: int = 0) -> ExperimentResult:
     )
     return ExperimentResult(
         name="fig5",
-        text=behaviour + "\n\n" + access + "\n" + burst_line,
+        document=ReportDocument(
+            [behaviour, ReportText(""), access, ReportText(burst_line)]
+        ),
         metrics={
             "input_noise": measured["noisy input"][0],
             "guided_noise": measured["guided"][0],
@@ -413,6 +497,11 @@ def fig5_report(size: int = 64, seed: int = 0) -> ExperimentResult:
             "access_gain_11x11": gains[-1],
             "burst8_energy_gain": per_pixel.energy_j / burst.energy_j,
         },
+        config={"size": size, "seed": seed},
+        gates={
+            "burst8_energy_gain": ("equal", 1e-6),
+            "guided_noise": ("equal", 1e-2),
+        },
     )
 
 
@@ -420,6 +509,7 @@ def fig5_report(size: int = 64, seed: int = 0) -> ExperimentResult:
 # Fig. 6 — compressed sensing + AMP
 # ---------------------------------------------------------------------------
 
+@_persisted
 def fig6_report(
     n: int = 256,
     m: int = 128,
@@ -540,7 +630,7 @@ def fig6_report(
             return str(requested)
         return f"{requested} (capped {effective})"
 
-    fleet_table = format_table(
+    fleet_table = ReportTable(
         ("shards", "banks / shard", "latency", "energy / batch", "area"),
         [
             (
@@ -635,7 +725,7 @@ def fig6_report(
                 "programming_energy_j": maintained_counted["programming_energy_j"],
             }
         )
-    drift_table = format_table(
+    drift_table = ReportTable(
         ("fleet age", "stale NMSE", "maintained NMSE", "stale energy",
          "maintained energy", "of it maintenance"),
         [
@@ -666,7 +756,7 @@ def fig6_report(
         f"over {as_dispatched['latency_cycles']:.0f} cycles"
     )
 
-    batch_table = format_table(
+    batch_table = ReportTable(
         ("schedule", "read cycles", "latency / fleet", "ADC banks",
          "energy / fleet"),
         [
@@ -691,14 +781,19 @@ def fig6_report(
             "energy, schedules trade latency for converter banks):"
         ),
     )
-    lines = [
-        f"Fig. 6: AMP recovery, N={n}, M={m}, k={k} "
-        f"(delta={problem.undersampling:.2f})",
-        format_series("exact NMSE/iter   ", exact.nmse_history[:12], precision=2),
-        format_series("crossbar NMSE/iter", analog.nmse_history[:12], precision=2),
-        f"final NMSE: exact {exact.final_nmse:.2e}, crossbar {analog.final_nmse:.2e}",
-        "",
-        format_table(
+    blocks: list = [
+        ReportText(
+            f"Fig. 6: AMP recovery, N={n}, M={m}, k={k} "
+            f"(delta={problem.undersampling:.2f})"
+        ),
+        ReportSeries("exact NMSE/iter   ", exact.nmse_history[:12], precision=2),
+        ReportSeries("crossbar NMSE/iter", analog.nmse_history[:12], precision=2),
+        ReportText(
+            f"final NMSE: exact {exact.final_nmse:.2e}, "
+            f"crossbar {analog.final_nmse:.2e}"
+        ),
+        ReportText(""),
+        ReportTable(
             ("engine", "energy / recovery"),
             [
                 ("FPGA 4-bit", f"{mvms * fpga.mvm_energy_j() * 1e6:.0f} uJ"),
@@ -709,7 +804,7 @@ def fig6_report(
             ],
             title=f"Energy for the {mvms} matrix-vector products of this recovery:",
         ),
-        (
+        ReportText(
             f"counter-driven split: {int(counted['n_live_reads'])} of "
             f"{int(counted['n_reads'])} reads live, "
             f"{operator.stats['dac_conversions']} DAC / "
@@ -717,31 +812,31 @@ def fig6_report(
             f"device {counted['device_energy_j'] * 1e9:.1f} nJ, "
             f"converters {(counted['adc_energy_j'] + counted['dac_energy_j']) * 1e9:.1f} nJ"
         ),
-        "",
+        ReportText(""),
         batch_table,
-        (
+        ReportText(
             f"fleet recovery NMSE mean {float(np.mean(fleet_nmse)):.1e} / "
             f"max {float(np.max(fleet_nmse)):.1e}; "
             f"{counted_batch['total_energy_j'] / batch * 1e6:.3f} uJ per signal; "
             f"B=1 twin reproduces the single recovery: "
             f"{counted_b1['total_energy_j'] * 1e6:.3f} uJ"
         ),
-        "",
+        ReportText(""),
         fleet_table,
-        (
+        ReportText(
             f"sharded fleet ({n_shards} shards, window {batch_window}): "
             f"NMSE mean {float(np.mean(sharded_nmse)):.1e}, merged-counter "
             f"energy {counted_sharded['total_energy_j'] * 1e6:.3f} uJ "
             f"({int(counted_sharded['n_live_reads'])} live reads across "
             f"{sharded.n_shards} arrays)"
         ),
-        "",
+        ReportText(""),
         drift_table,
-        maintenance_line,
+        ReportText(maintenance_line),
     ]
     return ExperimentResult(
         name="fig6",
-        text="\n".join(lines),
+        document=ReportDocument(blocks),
         metrics={
             "exact_nmse": exact.final_nmse,
             "crossbar_nmse": analog.final_nmse,
@@ -787,6 +882,21 @@ def fig6_report(
             "drift_n_reprograms": float(maintenance.n_reprograms),
             "drift_fresh_nmse": drift_rows[0]["stale_nmse"],
         },
+        config={
+            "n": n,
+            "m": m,
+            "k": k,
+            "iterations": iterations,
+            "batch": batch,
+            "seed": seed,
+        },
+        gates={
+            "crossbar_nmse": ("lower", 1.0),
+            "batch_max_nmse": ("lower", 1.0),
+            "counter_energy_uj": ("equal", 1e-3),
+            "batch_energy_per_signal_uj": ("equal", 1e-3),
+            "drift_maintained_nmse": ("lower", 1.0),
+        },
     )
 
 
@@ -794,10 +904,11 @@ def fig6_report(
 # Fig. 7 — IoT inference
 # ---------------------------------------------------------------------------
 
+@_persisted
 def fig7_report(seed: int = 0) -> ExperimentResult:
     """The Fig. 7(b) energy series plus the Sec. IV.A accuracy check."""
     rows = iot_energy_rows()
-    energy_table = format_table(
+    energy_table = ReportTable(
         ("N", "CIM 4-bit ADC [J]", "sub-Vth CM0 [J]", "Vnom CM0 [J]", "CIM gain"),
         [
             (
@@ -813,7 +924,7 @@ def fig7_report(seed: int = 0) -> ExperimentResult:
     )
 
     batch_rows = iot_batch_rows(dimension=128)
-    batch_table = format_table(
+    batch_table = ReportTable(
         ("batch", "serial latency", "parallel latency", "CIM [J]",
          "sub-Vth CM0 [J]", "gain"),
         [
@@ -829,7 +940,6 @@ def fig7_report(seed: int = 0) -> ExperimentResult:
         ],
         title="Batched 128 x 128 inference (readout schedules vs the MCU):",
     )
-    energy_table = energy_table + "\n\n" + batch_table
 
     task = SensoryTask(n_features=32, n_classes=6, separation=2.6, seed=seed)
     x_train, y_train, x_test, y_test = task.train_test_split(600, 150, seed=seed + 1)
@@ -838,7 +948,7 @@ def fig7_report(seed: int = 0) -> ExperimentResult:
     cim = CimNetwork(quantize_network(network, 4), seed=seed + 4)
     software = network.accuracy(x_test, y_test)
     analog = cim.accuracy(x_test, y_test)
-    accuracy_table = format_table(
+    accuracy_table = ReportTable(
         ("configuration", "accuracy"),
         [
             ("float32 software", f"{software:.3f}"),
@@ -848,7 +958,15 @@ def fig7_report(seed: int = 0) -> ExperimentResult:
     )
     return ExperimentResult(
         name="fig7",
-        text=energy_table + "\n\n" + accuracy_table,
+        document=ReportDocument(
+            [
+                energy_table,
+                ReportText(""),
+                batch_table,
+                ReportText(""),
+                accuracy_table,
+            ]
+        ),
         metrics={
             "cim_energy_n32": rows[0]["cim_4bit_adc_j"],
             "vnom_energy_n512": rows[-1]["vnom_m0_j"],
@@ -858,6 +976,12 @@ def fig7_report(seed: int = 0) -> ExperimentResult:
             "software_accuracy": software,
             "cim_accuracy": analog,
         },
+        config={"seed": seed},
+        gates={
+            "cim_gain_n512": ("equal", 1e-6),
+            "software_accuracy": ("higher", 0.05),
+            "cim_accuracy": ("higher", 0.08),
+        },
     )
 
 
@@ -865,6 +989,7 @@ def fig7_report(seed: int = 0) -> ExperimentResult:
 # Fig. 8 + Sec. IV.B.3 — HD computing
 # ---------------------------------------------------------------------------
 
+@_persisted
 def fig8_report(d: int = 4096, seed: int = 0) -> ExperimentResult:
     """HD classification accuracy, software vs CIM, on both tasks."""
     corpus = LanguageCorpus(n_languages=21, seed=seed + 1)
@@ -883,7 +1008,7 @@ def fig8_report(d: int = 4096, seed: int = 0) -> ExperimentResult:
     emg_sw = gesture.evaluate(test_windows, test_emg_labels)
     emg_cim = gesture.evaluate(test_windows, test_emg_labels, backend="cim")
 
-    text = format_table(
+    table = ReportTable(
         ("task", "software accuracy", "CIM accuracy"),
         [
             ("language id (21 classes)", f"{lang_sw:.3f}", f"{lang_cim:.3f}"),
@@ -893,20 +1018,28 @@ def fig8_report(d: int = 4096, seed: int = 0) -> ExperimentResult:
     )
     return ExperimentResult(
         name="fig8",
-        text=text,
+        document=ReportDocument([table]),
         metrics={
             "language_software": lang_sw,
             "language_cim": lang_cim,
             "emg_software": emg_sw,
             "emg_cim": emg_cim,
         },
+        config={"d": d, "seed": seed},
+        gates={
+            "language_software": ("higher", 0.05),
+            "language_cim": ("higher", 0.08),
+            "emg_software": ("higher", 0.08),
+            "emg_cim": ("higher", 0.12),
+        },
     )
 
 
+@_persisted
 def hd_asic_report() -> ExperimentResult:
     """The Sec. IV.B.3 CMOS-vs-CIM HD processor comparison."""
     model = HdProcessorModel()
-    breakdown = format_table(
+    breakdown = ReportTable(
         ("module", "replaceable", "CMOS mm^2", "CIM mm^2", "CMOS nJ", "CIM nJ"),
         [
             (
@@ -921,7 +1054,7 @@ def hd_asic_report() -> ExperimentResult:
         ],
         title="Sec. IV.B.3: HD processor component breakdown (d = 8192):",
     )
-    summary = format_table(
+    summary = ReportTable(
         ("metric", "improvement", "paper"),
         [
             ("area (full design)", f"{model.area_improvement():.1f}x", "~9x"),
@@ -934,13 +1067,17 @@ def hd_asic_report() -> ExperimentResult:
     )
     return ExperimentResult(
         name="hd_asic",
-        text=breakdown + "\n\n" + summary,
+        document=ReportDocument([breakdown, ReportText(""), summary]),
         metrics={
             "area_improvement": model.area_improvement(),
             "energy_improvement": model.energy_improvement(),
             "replaceable_energy_improvement": model.energy_improvement(
                 replaceable_only=True
             ),
+        },
+        gates={
+            "area_improvement": ("equal", 1e-6),
+            "energy_improvement": ("equal", 1e-6),
         },
     )
 

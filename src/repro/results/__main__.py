@@ -1,0 +1,6 @@
+"""``python -m repro.results`` — the experiment-store command line."""
+
+from repro.results.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -77,6 +77,26 @@ class TestReports:
     def test_reports_are_printable(self):
         result = table1_report()
         assert str(result) == result.text
+        assert str(result).count("\n") == result.text.count("\n")
+        # the structured document renders the same bytes print() shows
+        assert result.document.render() == result.text
+
+    def test_structured_results_carry_config_and_gates(self):
+        result = fig6_report()
+        assert result.config["iterations"] >= 1
+        for metric, (direction, rel_tol) in result.gates.items():
+            assert metric in result.metrics
+            assert direction in {"higher", "lower", "equal"}
+            assert rel_tol >= 0
+
+
+@pytest.fixture()
+def isolated_store(tmp_path, monkeypatch):
+    """Point CLI persistence at a throwaway DB under tmp_path."""
+    db = tmp_path / "results.db"
+    monkeypatch.setenv("REPRO_RESULTS_DB", str(db))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return db
 
 
 class TestCli:
@@ -85,11 +105,30 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fig3" in out and "hd_asic" in out
 
-    def test_run_single(self, capsys):
+    def test_run_single(self, isolated_store, capsys):
         assert main(["run", "table1"]) == 0
         assert "Table I" in capsys.readouterr().out
 
-    def test_run_with_output_dir(self, tmp_path, capsys):
+    def test_run_records_in_store(self, isolated_store, capsys):
+        from repro.results.queries import DataProvider
+
+        assert main(["run", "table1"]) == 0
+        capsys.readouterr()
+        provider = DataProvider(isolated_store)
+        run = provider.latest_run("table1")
+        assert run is not None and run.kind == "report"
+        assert provider.metrics(run.id)["power_advantage"] == pytest.approx(
+            120.0, rel=0.02
+        )
+        document = provider.latest_document("table1")
+        assert document.render() == table1_report().text
+        provider.close()
+
+    def test_run_no_db_skips_store(self, isolated_store, capsys):
+        assert main(["--no-db", "run", "table1"]) == 0
+        assert not isolated_store.exists()
+
+    def test_run_with_output_dir(self, isolated_store, tmp_path, capsys):
         assert main(["run", "hd_asic", "-o", str(tmp_path)]) == 0
         written = tmp_path / "hd_asic.txt"
         assert written.exists()
