@@ -8,10 +8,11 @@ replaces all of it:
 * ``recorder(name, payload)`` writes ``<results dir>/<name>.txt``
   exactly as before (payload may be an
   :class:`~repro.experiments.ExperimentResult` or plain text);
-* it records one ``kind="bench"`` run row in the experiment store with
-  the bench's config, metrics, gated metrics and the report document,
-  so ``python -m repro.results`` can regenerate the text and trend it
-  across PRs;
+* it records one run row (``kind="bench"`` unless the bench passes a
+  different ``kind``, e.g. the lifetime simulation's ``"lifetime"``)
+  in the experiment store with the bench's config, metrics, gated
+  metrics and the report document, so ``python -m repro.results`` can
+  regenerate the text and trend it across PRs;
 * ``gate_json=...`` keeps writing ``BENCH_<name>.json`` with the same
   schema and mirrors the payload's top-level scalars into the metrics
   table (explicit ``metrics=`` entries win).
@@ -86,6 +87,7 @@ class BenchRecorder:
         gates: dict | None = None,
         config: dict | None = None,
         gate_json: dict | None = None,
+        kind: str = "bench",
     ) -> None:
         text, document = _as_document(payload)
         run_metrics: dict = {}
@@ -113,7 +115,7 @@ class BenchRecorder:
 
         self.store.record_run(
             name,
-            "bench",
+            kind,
             config=run_config,
             metrics=run_metrics,
             gates=run_gates,

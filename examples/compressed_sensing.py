@@ -219,3 +219,52 @@ print(
     f"readout + {upkeep['total_energy_j'] * 1e6:.2f} uJ maintenance "
     f"({upkeep['total_energy_j'] / total['total_energy_j'] * 100:.1f}%)"
 )
+
+# --- fleet lifetime: predictive maintenance, faults and retirement ------------
+# The drift law is known in closed form, so maintenance does not need a
+# wall clock: a DriftPredictor forecasts each shard's gain error from
+# the target conductances alone, and the policy calibrates just before
+# the forecast crosses the budget — intervals stretch geometrically
+# with age (power-law drift), where a wall clock would keep probing at
+# the early-life cadence forever.  Poisson-arriving stuck-device faults
+# (permanent, rewrite-surviving) are escalated calibrate -> reprogram ->
+# verify; a shard that cannot verify is retired and the fleet serves on
+# with the survivors.
+from repro.crossbar import DriftPredictor, FaultInjector, LifetimeSimulator
+
+aging = ShardedOperator.from_matrix(
+    big_fleet.matrix, n_shards=3, batch_window=16,
+    schedule="drift_aware", dac_bits=8, adc_bits=8,
+    stream="per_shard", seed=14,
+)
+lifecycle = FleetMaintenance(
+    aging,
+    gain_error_budget=0.01,           # predictive trigger: model decides
+    calibration_error_threshold=0.3,  # non-scalar damage -> reprogram
+    verify_error_budget=0.2,          # can't verify -> retire the shard
+    n_probes=16, seed=15,
+)
+forecast = DriftPredictor.from_operator(aging.shards[0])
+print(
+    f"\ndrift forecast: after a week uncompensated, gain error "
+    f"{forecast.gain_error(6.05e5) * 100:.1f}%; at 1% budget the next "
+    f"recalibration is due {forecast.seconds_until(0.01, 6.05e5) / 3600:.1f} h "
+    f"after a fresh week-old calibration"
+)
+faults = FaultInjector(aging, rate_per_s=2e-6, fraction_per_event=2e-2,
+                       seed=16)
+life = LifetimeSimulator(aging, injector=faults, step_seconds=3.6e3,
+                         batch=32, seed=17).run(n_steps=168)  # one week
+upkeep = sized.energy_from_stats(lifecycle.stats)
+print(
+    f"one simulated week under faults: availability "
+    f"{life.availability * 100:.1f}%, worst NMSE {life.nmse_envelope:.2e}, "
+    f"{len(life.fault_events)} fault events, "
+    f"{len(life.retirements)} shard(s) retired, "
+    f"{aging.n_active_shards} still serving"
+)
+print(
+    f"  maintenance: {lifecycle.n_calibrations} calibrations, "
+    f"{lifecycle.n_reprograms} reprograms, {lifecycle.n_retirements} "
+    f"retirements ({upkeep['total_energy_j'] * 1e6:.2f} uJ)"
+)

@@ -13,6 +13,7 @@ import numpy as np
 
 __all__ = [
     "as_rng",
+    "check_elapsed",
     "check_positive",
     "check_fraction",
     "check_in",
@@ -36,6 +37,24 @@ def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def check_elapsed(name: str, value: float) -> float:
+    """Validate an elapsed-time argument: finite and non-negative.
+
+    Drift clocks accumulate whatever they are fed, so a negative or NaN
+    elapsed time would silently corrupt every age/staleness counter
+    downstream (NaN compares false against every threshold).  All
+    ``advance_time`` entry points validate through this helper before
+    touching any clock, so a bad value can never partially age a fleet.
+    """
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(
+            f"{name} must be a finite non-negative number of seconds, "
+            f"got {value!r}"
+        )
+    return value
 
 
 def check_positive(name: str, value: float) -> float:

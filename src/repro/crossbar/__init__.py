@@ -23,7 +23,14 @@ Public API
   serially or on a thread pool (``parallelism="threads"``) with
   identical scheduling, results and counters.
 * :class:`FleetMaintenance` — scheduled recalibration/reprogramming of
-  drifting shards between dispatch windows, with separable counters.
+  drifting shards between dispatch windows, with separable counters,
+  predictive (drift-model-driven) triggers and calibrate → reprogram →
+  retire escalation.
+* :class:`DriftPredictor` / :class:`FaultInjector` /
+  :class:`LifetimeSimulator` — forecast drift-induced gain error from
+  the device law, deliver Poisson-arriving stuck-device faults, and
+  simulate whole fleet lifetimes (availability, NMSE envelope,
+  retirement timeline).
 * :class:`Dac` / :class:`Adc` — converter quantization models.
 * :func:`program_and_verify` — iterative conductance programming.
 """
@@ -36,6 +43,13 @@ from repro.crossbar.mixed_precision import (
     MixedPrecisionSolver,
     SolveResult,
     spd_test_system,
+)
+from repro.crossbar.lifetime import (
+    DriftPredictor,
+    FaultEvent,
+    FaultInjector,
+    LifetimeResult,
+    LifetimeSimulator,
 )
 from repro.crossbar.maintenance import FleetMaintenance, MaintenanceAction
 from repro.crossbar.nonidealities import apply_stuck_faults, ir_drop_factors
@@ -56,7 +70,12 @@ __all__ = [
     "Dac",
     "DenseOperator",
     "DifferentialCoding",
+    "DriftPredictor",
+    "FaultEvent",
+    "FaultInjector",
     "FleetMaintenance",
+    "LifetimeResult",
+    "LifetimeSimulator",
     "MaintenanceAction",
     "MixedPrecisionSolver",
     "PARALLELISM_MODES",

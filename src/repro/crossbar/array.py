@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util import as_rng
+from repro._util import as_rng, check_elapsed
 from repro.crossbar.nonidealities import ir_drop_factors
 from repro.devices import PcmDevice
 from repro.crossbar.programming import ProgrammingReport, program_and_verify
@@ -81,6 +81,13 @@ class CrossbarArray:
             seed=self._rng,
         )
         self._g_programmed = self.programming_report.conductance
+        # Yield/endurance faults are device-permanent: the mask and the
+        # stuck conductances persist across reprogramming sessions (a
+        # rewrite cannot heal a failed device) and compose across
+        # repeated injections — idempotent on already-stuck cells, union
+        # on new ones.
+        self._stuck_mask = np.zeros(self._g_programmed.shape, dtype=bool)
+        self._stuck_values = np.zeros(self._g_programmed.shape)
         self.age_seconds = 0.0
         # Batched reads recompute nothing per call: the drifted (and
         # IR-scaled) conductance and its elementwise square are cached
@@ -125,10 +132,29 @@ class CrossbarArray:
         """Drop cached read matrices after any device-state change."""
         self._read_cache.clear()
 
+    @property
+    def g_target(self) -> np.ndarray:
+        """The target conductances this array was programmed toward."""
+        return self._g_target
+
+    @property
+    def stuck_mask(self) -> np.ndarray:
+        """Boolean mask of devices stuck by injected yield faults."""
+        return self._stuck_mask.copy()
+
+    @property
+    def stuck_fraction(self) -> float:
+        """Fraction of this array's devices stuck at a fault value."""
+        return float(self._stuck_mask.mean()) if self._stuck_mask.size else 0.0
+
     def advance_time(self, seconds: float) -> None:
-        """Accumulate drift time (Sec. III: PCM conductances relax)."""
-        if seconds < 0:
-            raise ValueError("seconds must be non-negative")
+        """Accumulate drift time (Sec. III: PCM conductances relax).
+
+        ``seconds`` must be finite and non-negative — a negative or NaN
+        elapsed time would silently corrupt the drift clock (NaN
+        compares false against every maintenance threshold).
+        """
+        seconds = check_elapsed("seconds", seconds)
         self.age_seconds += seconds
         if seconds > 0:
             self._invalidate_read_cache()
@@ -141,8 +167,11 @@ class CrossbarArray:
         did), resets the drift clock to zero, and counts the applied
         pulses into the maintenance ledger — the drift-compensation
         escalation when scalar gain calibration is no longer enough.
-        Stuck-fault state injected via :meth:`inject_stuck_faults` is
-        overwritten (that API models a separate yield ablation).
+        Stuck-fault state injected via :meth:`inject_stuck_faults`
+        *survives* the rewrite: failed devices cannot be reprogrammed,
+        so their stuck conductances are re-asserted after the session —
+        yield and drift compose into one lifetime story instead of a
+        rewrite silently healing the fault ablation.
         Returns the new programming report.
         """
         if iterations is None:
@@ -154,6 +183,13 @@ class CrossbarArray:
             seed=self._rng,
         )
         self._g_programmed = self.programming_report.conductance
+        if self._stuck_mask.any():
+            # copy before re-asserting faults so the programming report
+            # keeps the conductances its error metrics were computed on
+            self._g_programmed = self._g_programmed.copy()
+            self._g_programmed[self._stuck_mask] = self._stuck_values[
+                self._stuck_mask
+            ]
         self.age_seconds = 0.0
         self._invalidate_read_cache()
         self.n_reprograms += 1
@@ -170,6 +206,14 @@ class CrossbarArray:
 
         Used by the fault-tolerance ablation: yield/endurance failures
         leave devices stuck at RESET (``g_min``) or SET (``g_max``).
+
+        Repeated injections *compose deterministically*: a device that
+        is already stuck keeps its original stuck conductance even when
+        the new draw selects it again (idempotent on the same cells),
+        while newly selected devices join the persistent fault mask
+        (union on new cells).  The returned mask covers this call's
+        draw only; :attr:`stuck_mask` holds the accumulated union that
+        :meth:`reprogram` re-asserts after every rewrite.
         """
         from repro.crossbar.nonidealities import apply_stuck_faults
 
@@ -181,7 +225,14 @@ class CrossbarArray:
             mode=mode,
             seed=seed if seed is not None else self._rng,
         )
-        self._g_programmed = faulty
+        # Idempotence: cells already stuck keep their recorded value —
+        # only the newly faulted cells take this draw's stuck state.
+        fresh = mask & ~self._stuck_mask
+        self._stuck_values[fresh] = faulty[fresh]
+        self._stuck_mask |= mask
+        self._g_programmed = np.where(
+            self._stuck_mask, self._stuck_values, self._g_programmed
+        )
         self._invalidate_read_cache()
         return mask
 

@@ -21,9 +21,27 @@ batched or per-vector dispatch) and services each shard whose staleness
   conversion counters plus the per-probe digital overhead);
 * ``reprogram_after_s`` triggers the heavy program-and-verify rewrite
   (pulses counted into the shard's ``n_program_pulses``);
+* ``gain_error_budget`` replaces (or augments) the wall clock with the
+  *predictive* trigger: a
+  :class:`~repro.crossbar.lifetime.DriftPredictor` inverts the shard's
+  own ``PcmDevice.drifted`` law to forecast the gain error its current
+  staleness implies, and the shard is recalibrated just before the
+  forecast crosses the budget.  Because PCM drift is a power law, the
+  predictive intervals stretch geometrically with age where a fixed
+  wall clock keeps probing at the early-life cadence forever — same
+  NMSE envelope, far fewer probes;
 * ``gain_error_threshold`` escalates a calibration whose fitted gain
   lands further than this from unity into an immediate reprogram — the
-  policy's "scalar compensation is no longer enough" rule.
+  policy's "scalar compensation is no longer enough" rule;
+* ``calibration_error_threshold`` escalates on the *residual* error
+  after the gain fit — the signal that catches non-scalar damage
+  (stuck faults, drift dispersion) that a digital gain cannot hide;
+* ``verify_error_budget`` closes the escalation ladder: every
+  reprogram is verified with ``verify_probes`` random probes against
+  the stored target, and a shard whose rewrite cannot reach the budget
+  (stuck faults make the error floor irreducible) is **retired** —
+  :meth:`ShardedOperator.retire_shard` takes it out of rotation and
+  the fleet rebalances onto the survivors.
 
 Every action is logged as a :class:`MaintenanceAction`, and the counter
 deltas it caused are accumulated into :attr:`FleetMaintenance.stats`, so
@@ -68,17 +86,21 @@ class MaintenanceAction:
     shard:
         Index of the serviced replica in the fleet.
     action:
-        ``"calibrate"`` or ``"reprogram"`` (escalated calibrations
-        report as ``"reprogram"``; their probe cost is included).
+        ``"calibrate"``, ``"reprogram"`` or ``"retire"`` (escalated
+        calibrations report as the action they escalated to; the probe
+        cost of every rung climbed is included).
     staleness_s:
         The staleness that triggered the action, in seconds.
     gain:
         The digital gain in effect afterwards — the fitted value for a
         calibration, 1.0 after a reprogram.
     probes:
-        Calibration probe vectors spent by this action.
+        Calibration/verify probe vectors spent by this action.
     pulses:
         Program-and-verify pulses spent by this action.
+    verify_error:
+        Relative read error measured by the post-reprogram verify step
+        (``None`` when no verify ran).
     """
 
     shard: int
@@ -87,6 +109,7 @@ class MaintenanceAction:
     gain: float
     probes: int
     pulses: int
+    verify_error: float | None = None
 
 
 class FleetMaintenance:
@@ -101,18 +124,40 @@ class FleetMaintenance:
         gets a scalar-gain calibration; ``None`` disables calibration.
     reprogram_after_s:
         Staleness beyond which a shard is reprogrammed outright;
-        ``None`` disables age-triggered reprogramming.  At least one of
-        the two thresholds is required.
+        ``None`` disables age-triggered reprogramming.
+    gain_error_budget:
+        Predictive trigger: the shard is recalibrated as soon as the
+        drift model forecasts its uncompensated gain error at or above
+        this budget.  At least one of the three triggers is required.
+    predictor:
+        Drift forecaster for the predictive trigger: ``"auto"``
+        (default) builds one
+        :class:`~repro.crossbar.lifetime.DriftPredictor` per physical
+        shard from its own device model and target conductances; an
+        explicit :class:`DriftPredictor` instance is shared by every
+        shard.  Ignored unless ``gain_error_budget`` is set.
     gain_error_threshold:
         If the fitted calibration gain lands further than this from
         unity, the calibration escalates to a reprogram.
+    calibration_error_threshold:
+        If the *residual* relative error after the gain fit
+        (``shard.last_calibration_error``) exceeds this, the
+        calibration escalates to a reprogram — the trigger that catches
+        stuck faults and other non-scalar damage.
+    verify_probes:
+        Probe vectors for the post-reprogram verify step (defaults to
+        ``n_probes`` when a ``verify_error_budget`` is set).
+    verify_error_budget:
+        Relative read error every reprogram must verify below; a shard
+        that cannot hit it is retired from the fleet.  ``None``
+        disables verify and retirement.
     n_probes:
         Probe vectors per calibration (as in ``calibrate``).
     programming_iterations:
         Verify rounds per reprogram (``None`` keeps each shard's
         construction-time setting).
     seed:
-        RNG seed or generator for the calibration probes.
+        RNG seed or generator for the calibration/verify probes.
     attach:
         Register this policy as ``fleet.maintenance`` so the fleet runs
         :meth:`sweep` between dispatch windows (default).  Pass
@@ -124,47 +169,104 @@ class FleetMaintenance:
         fleet,
         recalibrate_after_s: float | None = None,
         reprogram_after_s: float | None = None,
+        gain_error_budget: float | None = None,
+        predictor: object = "auto",
         gain_error_threshold: float | None = None,
+        calibration_error_threshold: float | None = None,
+        verify_probes: int | None = None,
+        verify_error_budget: float | None = None,
         n_probes: int = 8,
         programming_iterations: int | None = None,
         seed: int | np.random.Generator | None = None,
         attach: bool = True,
     ) -> None:
-        if recalibrate_after_s is None and reprogram_after_s is None:
+        if (
+            recalibrate_after_s is None
+            and reprogram_after_s is None
+            and gain_error_budget is None
+        ):
             raise ValueError(
                 "at least one of recalibrate_after_s / reprogram_after_s "
-                "is required"
+                "/ gain_error_budget is required"
             )
         for name, value in (
             ("recalibrate_after_s", recalibrate_after_s),
             ("reprogram_after_s", reprogram_after_s),
+            ("gain_error_budget", gain_error_budget),
             ("gain_error_threshold", gain_error_threshold),
+            ("calibration_error_threshold", calibration_error_threshold),
+            ("verify_error_budget", verify_error_budget),
         ):
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive or None")
         if n_probes < 1:
             raise ValueError("n_probes must be >= 1")
+        if verify_probes is not None and verify_probes < 1:
+            raise ValueError("verify_probes must be >= 1 or None")
         if programming_iterations is not None and programming_iterations < 1:
             raise ValueError("programming_iterations must be >= 1 or None")
         self.fleet = fleet
         self.recalibrate_after_s = recalibrate_after_s
         self.reprogram_after_s = reprogram_after_s
+        self.gain_error_budget = gain_error_budget
+        self.predictor = predictor
         self.gain_error_threshold = gain_error_threshold
+        self.calibration_error_threshold = calibration_error_threshold
+        self.verify_error_budget = verify_error_budget
+        self.verify_probes = (
+            int(verify_probes) if verify_probes is not None else int(n_probes)
+        )
         self.n_probes = int(n_probes)
         self.programming_iterations = programming_iterations
         self._rng = as_rng(seed)
         self.actions: list[MaintenanceAction] = []
         self._stats: dict[str, int] = {key: 0 for key in _REQUIRED_STAT_KEYS}
+        self._shard_predictors: dict[int, object] = {}
         if attach:
             fleet.maintenance = self
 
     # -- policy ----------------------------------------------------------------
+    def _predictor_for(self, shard):
+        """The drift forecaster serving one shard (``None`` if n/a)."""
+        if self.predictor != "auto":
+            return self.predictor
+        key = id(shard)
+        if key not in self._shard_predictors:
+            from repro.crossbar.lifetime import DriftPredictor
+
+            try:
+                built = DriftPredictor.from_operator(shard)
+            except (AttributeError, ValueError):
+                built = None  # shard doesn't expose target conductances
+            self._shard_predictors[key] = built
+        return self._shard_predictors[key]
+
+    def predicted_gain_error(self, shard) -> float | None:
+        """The drift model's gain-error forecast for a shard right now.
+
+        ``None`` when no predictor applies (exact replicas, or no
+        ``gain_error_budget`` configured).  Pure model evaluation — no
+        probes, no RNG, no hardware reads.
+        """
+        if self.gain_error_budget is None:
+            return None
+        if not hasattr(shard, "age_seconds"):
+            return None
+        predictor = self._predictor_for(shard)
+        if predictor is None:
+            return None
+        age = float(shard.age_seconds)
+        staleness = float(getattr(shard, "staleness_seconds", age))
+        return predictor.gain_error(age, age - staleness)
+
     def due(self, shard) -> str | None:
         """The action a shard currently needs (``None`` when healthy).
 
         Exact replicas (without the maintenance protocol) never need
         service; physical replicas are checked against the reprogram
-        threshold first, then the calibration threshold.
+        threshold first, then the wall-clock calibration threshold,
+        then the predictive gain-error budget (which needs no staleness
+        threshold at all — the drift model decides).
         """
         if not (hasattr(shard, "calibrate") and hasattr(shard, "reprogram")):
             return None
@@ -179,7 +281,29 @@ class FleetMaintenance:
             and staleness >= self.recalibrate_after_s
         ):
             return "calibrate"
+        if self.gain_error_budget is not None and staleness > 0.0:
+            predicted = self.predicted_gain_error(shard)
+            if predicted is not None and predicted >= self.gain_error_budget:
+                return "calibrate"
         return None
+
+    def _due_pairs(self) -> list[tuple[int, str]]:
+        """``(index, action)`` for every live shard needing service.
+
+        Retired shards are out of the maintenance rotation entirely —
+        no probes, no rewrites, no new counters — which also keeps the
+        lock-free pre-check in :meth:`sweep` from quiescing a fleet
+        whose only stale shards are already retired.
+        """
+        retired = getattr(self.fleet, "retired_shards", None)
+        pairs = []
+        for index, shard in enumerate(self.fleet.shards):
+            if retired is not None and retired[index]:
+                continue
+            action = self.due(shard)
+            if action is not None:
+                pairs.append((index, action))
+        return pairs
 
     def sweep(self) -> list[MaintenanceAction]:
         """Service every shard that is due; returns the actions taken.
@@ -197,7 +321,7 @@ class FleetMaintenance:
         lock-free "anything due?" pre-check cannot miss work, and a
         fleet with nothing due pays no quiescing cost.
         """
-        if all(self.due(shard) is None for shard in self.fleet.shards):
+        if not self._due_pairs():
             return []
         quiesce = getattr(self.fleet, "quiesce", None)
         if quiesce is None:
@@ -205,24 +329,56 @@ class FleetMaintenance:
         with quiesce():
             return self._service_due()
 
+    def _reprogram_and_verify(self, index: int, shard) -> tuple[str, float | None]:
+        """One rewrite, verified when a budget is set; retires on failure.
+
+        Returns ``(action, verify_error)`` — ``"reprogram"`` when the
+        rewrite verified inside the budget (or no budget is set),
+        ``"retire"`` when it could not: stuck devices survive rewrites,
+        so a shard whose verify error stays above budget can never be
+        healed by reprogramming and is taken out of rotation.
+        """
+        if self.verify_error_budget is None:
+            shard.reprogram(self.programming_iterations)
+            return "reprogram", None
+        shard.reprogram(
+            self.programming_iterations,
+            verify_probes=self.verify_probes,
+            verify_seed=self._rng,
+        )
+        verify_error = float(shard.last_reprogram_error)
+        if verify_error > self.verify_error_budget:
+            retire = getattr(self.fleet, "retire_shard", None)
+            if retire is not None:
+                retire(index)
+                return "retire", verify_error
+        return "reprogram", verify_error
+
     def _service_due(self) -> list[MaintenanceAction]:
         performed: list[MaintenanceAction] = []
-        for index, shard in enumerate(self.fleet.shards):
-            action = self.due(shard)
-            if action is None:
-                continue
+        for index, action in self._due_pairs():
+            shard = self.fleet.shards[index]
             staleness = float(getattr(shard, "staleness_seconds", 0.0))
             before = dict(shard.stats)
+            verify_error = None
             if action == "calibrate":
                 gain = shard.calibrate(n_probes=self.n_probes, seed=self._rng)
-                if (
+                residual = getattr(shard, "last_calibration_error", None)
+                escalate = (
                     self.gain_error_threshold is not None
                     and abs(gain - 1.0) > self.gain_error_threshold
-                ):
-                    shard.reprogram(self.programming_iterations)
-                    action, gain = "reprogram", 1.0
+                ) or (
+                    self.calibration_error_threshold is not None
+                    and residual is not None
+                    and residual > self.calibration_error_threshold
+                )
+                if escalate:
+                    action, verify_error = self._reprogram_and_verify(
+                        index, shard
+                    )
+                    gain = 1.0
             else:
-                shard.reprogram(self.programming_iterations)
+                action, verify_error = self._reprogram_and_verify(index, shard)
                 gain = 1.0
             after = dict(shard.stats)
             for key in after.keys() | before.keys():
@@ -239,6 +395,7 @@ class FleetMaintenance:
                     - before.get("n_calibration_probes", 0),
                     pulses=after.get("n_program_pulses", 0)
                     - before.get("n_program_pulses", 0),
+                    verify_error=verify_error,
                 )
             )
         self.actions.extend(performed)
@@ -264,6 +421,11 @@ class FleetMaintenance:
     @property
     def n_reprograms(self) -> int:
         return sum(1 for action in self.actions if action.action == "reprogram")
+
+    @property
+    def n_retirements(self) -> int:
+        """Shards retired after a reprogram failed its verify budget."""
+        return sum(1 for action in self.actions if action.action == "retire")
 
     @property
     def n_calibration_probes(self) -> int:

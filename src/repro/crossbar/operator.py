@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util import as_rng
+from repro._util import as_rng, check_elapsed
 from repro.crossbar.array import CrossbarArray
 from repro.crossbar.coding import DifferentialCoding
 from repro.crossbar.converters import Adc, Dac
@@ -266,6 +266,12 @@ class CrossbarOperator:
         self.n_calibrations = 0
         self.n_calibration_probes = 0
         self.n_reprograms = 0
+        # Health measurements from the last maintenance events: the
+        # residual relative error after the last gain fit, and the
+        # verify error of the last reprogram-and-verify session
+        # (``None`` until the respective event happens).
+        self.last_calibration_error: float | None = None
+        self.last_reprogram_error: float | None = None
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -301,22 +307,42 @@ class CrossbarOperator:
         return self.age_seconds - self._maintained_at_age
 
     def advance_time(self, seconds: float) -> None:
-        """Let every tile drift for ``seconds`` (Sec. III, PCM drift)."""
-        if seconds < 0:
-            raise ValueError("seconds must be non-negative")
+        """Let every tile drift for ``seconds`` (Sec. III, PCM drift).
+
+        ``seconds`` must be finite and non-negative (validated before
+        any tile ages, so a bad value never partially drifts the
+        operator).
+        """
+        seconds = check_elapsed("seconds", seconds)
         for pair in self._tiles.values():
             pair.advance_time(seconds)
         self.age_seconds += seconds
 
-    def reprogram(self, programming_iterations: int | None = None) -> int:
+    def reprogram(
+        self,
+        programming_iterations: int | None = None,
+        verify_probes: int | None = None,
+        verify_seed: int | np.random.Generator | None = None,
+    ) -> int:
         """Rewrite every tile from the stored target matrix.
 
         The heavy drift-maintenance action: a full program-and-verify
         session per tile pair (defaulting to the construction-time
         iteration count), after which the drift and staleness clocks
-        restart and the digital gain returns to unity.  Pulses are
-        counted into :attr:`stats` for the energy layer; returns the
-        pulse count of this session.
+        restart and the digital gain returns to unity.  Devices stuck
+        by injected yield faults survive the rewrite (see
+        :meth:`CrossbarArray.reprogram`).  Pulses are counted into
+        :attr:`stats` for the energy layer; returns the pulse count of
+        this session.
+
+        ``verify_probes`` adds a post-rewrite verify step: the fresh
+        state is probed with that many random vectors (drawn from
+        ``verify_seed``) and the relative read error against the stored
+        target lands in :attr:`last_reprogram_error` — the number an
+        escalation policy compares against its NMSE budget to decide
+        whether the shard is still serviceable or must be retired
+        (stuck faults make the error floor irreducible by rewriting).
+        Without ``verify_probes`` the attribute resets to ``None``.
         """
         before = self.n_program_pulses
         for pair in self._tiles.values():
@@ -325,7 +351,41 @@ class CrossbarOperator:
         self.age_seconds = 0.0
         self._maintained_at_age = 0.0
         self.n_reprograms += 1
+        if verify_probes is not None:
+            self.last_reprogram_error = self.read_error(
+                n_probes=verify_probes, seed=verify_seed
+            )
+        else:
+            self.last_reprogram_error = None
         return self.n_program_pulses - before
+
+    def read_error(
+        self, n_probes: int = 8, seed: int | np.random.Generator | None = None
+    ) -> float:
+        """Probe the live relative read error against the stored target.
+
+        Drives ``n_probes`` random vectors through :meth:`matmat` (the
+        digital gain applies, exactly as serving traffic sees it) and
+        returns ``||observed - A @ probes|| / ||A @ probes||`` — the
+        verify measurement behind reprogram-and-verify and retirement
+        decisions.  Probes bill like calibration probes: their
+        conversions land in the ordinary DAC/ADC counters and their
+        count in ``n_calibration_probes`` (physically they are the same
+        probe-vector operation), so verify work is priced by
+        ``energy_from_stats`` without any new energy key.
+        """
+        if n_probes < 1:
+            raise ValueError("n_probes must be >= 1")
+        rng = as_rng(seed)
+        m, n = self.shape
+        probes = rng.standard_normal((n_probes, n)).T
+        reference = self.matrix @ probes
+        observed = self.matmat(probes)
+        denominator = float(np.linalg.norm(reference))
+        if denominator == 0.0:
+            raise RuntimeError("verify probes produced no reference signal")
+        self.n_calibration_probes += n_probes
+        return float(np.linalg.norm(observed - reference)) / denominator
 
     def inject_stuck_faults(
         self,
@@ -333,13 +393,30 @@ class CrossbarOperator:
         mode: str = "both",
         seed: int | np.random.Generator | None = None,
     ) -> int:
-        """Inject stuck devices into every tile; returns the fault count."""
+        """Inject stuck devices into every tile; returns the fault count.
+
+        Faults are permanent and compose across calls (idempotent on
+        already-stuck devices, union on new ones) and survive
+        :meth:`reprogram` — see :meth:`CrossbarArray.inject_stuck_faults`.
+        The returned count covers this call's draw; the accumulated
+        fault load is :attr:`stuck_fraction`.
+        """
         rng = as_rng(seed)
         total = 0
         for pair in self._tiles.values():
             total += int(pair.positive.inject_stuck_faults(fraction, mode, rng).sum())
             total += int(pair.negative.inject_stuck_faults(fraction, mode, rng).sum())
         return total
+
+    @property
+    def stuck_fraction(self) -> float:
+        """Fraction of this operator's devices stuck at a fault value."""
+        stuck = sum(
+            int(pair.positive._stuck_mask.sum())
+            + int(pair.negative._stuck_mask.sum())
+            for pair in self._tiles.values()
+        )
+        return stuck / self.n_devices if self.n_devices else 0.0
 
     def calibrate(
         self, n_probes: int = 8, seed: int | np.random.Generator | None = None
@@ -354,6 +431,14 @@ class CrossbarOperator:
         technique for PCM-based computing).  The probes are counted
         into the maintenance ledger (:attr:`stats`) and reset the
         staleness clock.  Returns the fitted gain.
+
+        The residual relative error *after* the fit —
+        ``||gain * observed - reference|| / ||reference||`` — lands in
+        :attr:`last_calibration_error`: uniform drift leaves it near
+        the noise floor, while non-scalar degradation (stuck faults,
+        state-dependent drift dispersion) keeps it high no matter the
+        gain, which is the signal an escalation policy uses to order a
+        full rewrite.
         """
         if n_probes < 1:
             raise ValueError("n_probes must be >= 1")
@@ -375,6 +460,13 @@ class CrossbarOperator:
         if denominator == 0.0:
             raise RuntimeError("calibration probes produced no signal")
         self._gain = numerator / denominator
+        reference_norm = float(np.linalg.norm(reference))
+        if reference_norm > 0.0:
+            self.last_calibration_error = float(
+                np.linalg.norm(self._gain * observed - reference)
+            ) / reference_norm
+        else:
+            self.last_calibration_error = 0.0
         self.n_calibrations += 1
         self.n_calibration_probes += n_probes
         self._maintained_at_age = self.age_seconds

@@ -94,7 +94,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
-from repro._util import as_rng, check_in
+from repro._util import as_rng, check_elapsed, check_in
 from repro.crossbar.operator import CrossbarOperator, DenseOperator
 from repro.crossbar.tile import split_ranges
 
@@ -182,6 +182,13 @@ class ShardedOperator:
         self.maintenance = None
         self._loads = [0] * len(shards)
         self._cursor = 0
+        # Retirement: a shard whose reprogram cannot hit the verify
+        # target is taken out of rotation.  Retired shards keep their
+        # historical counters (merged stats stay the key-wise sums) but
+        # receive no new windows, probes or rewrites; the fleet serves
+        # at reduced capacity and only errors when nothing remains.
+        self._retired = [False] * len(shards)
+        self.retirement_log: list[int] = []
         # Scheduling stays serial and deterministic under one lock;
         # per-shard locks make each replica's counters and RNG stream
         # single-writer even with concurrent callers; the executor is
@@ -269,6 +276,42 @@ class ShardedOperator:
         return tuple(self._loads)
 
     @property
+    def retired_shards(self) -> tuple[bool, ...]:
+        """Per-shard retirement flags, in shard order."""
+        return tuple(self._retired)
+
+    @property
+    def n_active_shards(self) -> int:
+        """Shards still in the dispatch rotation."""
+        return len(self.shards) - sum(self._retired)
+
+    def _active_indices(self) -> list[int]:
+        return [i for i, retired in enumerate(self._retired) if not retired]
+
+    def retire_shard(self, index: int) -> bool:
+        """Take a replica out of the dispatch rotation permanently.
+
+        Subsequent windows rebalance across the remaining shards (the
+        fleet degrades to reduced capacity, never a crash — dispatch
+        errors only once *zero* shards remain).  The shard keeps its
+        counters, so merged :attr:`stats` still equal the per-shard
+        sums; it just stops accumulating new work, probes or pulses.
+        Returns ``True`` if the shard was live, ``False`` if it was
+        already retired (retirement is idempotent).
+        """
+        if index != int(index) or not 0 <= index < len(self.shards):
+            raise ValueError(
+                f"shard must be an index in [0, {len(self.shards)}), "
+                f"got {index!r}"
+            )
+        index = int(index)
+        if self._retired[index]:
+            return False
+        self._retired[index] = True
+        self.retirement_log.append(index)
+        return True
+
+    @property
     def shard_ages(self) -> tuple[float, ...]:
         """Per-shard drift clocks: seconds since each replica was
         (re)programmed.  Exact shards have no clock and report 0."""
@@ -344,15 +387,26 @@ class ShardedOperator:
         work: they are served by whichever shard the schedule currently
         favours, but never advance the round-robin cursor or the load
         tallies, so dead traffic cannot perturb the live schedule.
+
+        Retired shards are out of rotation: the round-robin cycle and
+        the greedy argmin run over the surviving shards only (with no
+        retirements the candidate list is every shard, so the schedule
+        is bit-for-bit what it always was).  A fleet with zero live
+        shards cannot serve and raises ``RuntimeError``.
         """
+        candidates = self._active_indices()
+        if not candidates:
+            raise RuntimeError(
+                "all shards are retired; the fleet has no serving capacity"
+            )
         if self.schedule == "round_robin":
-            index = self._cursor % len(self.shards)
+            index = candidates[self._cursor % len(candidates)]
             if active_columns:
                 self._cursor += 1
         else:  # greedy-by-active-columns, lowest index breaks ties
             penalties = self._staleness_penalties()
             index = min(
-                range(len(self.shards)),
+                candidates,
                 key=lambda i: (self._loads[i] + penalties[i], i),
             )
         self._loads[index] += active_columns
@@ -620,7 +674,11 @@ class ShardedOperator:
         one replica only — the heterogeneous-fleet case, e.g. catching
         a repaired shard up to peers that kept serving while it was
         offline.  Per-shard clocks are visible as :attr:`shard_ages`.
+        ``seconds`` is validated (finite, non-negative) before any
+        shard ages, so a bad value never leaves the fleet's drift
+        clocks partially advanced or NaN-poisoned.
         """
+        seconds = check_elapsed("seconds", seconds)
         if shard is None:
             targets = list(enumerate(self.shards))
         else:

@@ -109,6 +109,26 @@ class PcmDevice:
         error = rng.normal(0.0, sigma, size=target.shape)
         return self.clip(target + error)
 
+    def drift_factors(self, conductance: np.ndarray, elapsed: float) -> np.ndarray:
+        """Multiplicative decay each state suffers after ``elapsed`` seconds.
+
+        The per-device factor ``((t0 + t) / t0) ** (-nu(g))`` that
+        :meth:`drifted` applies, exposed separately so predictive
+        maintenance can forecast the *gain error* a drifting array will
+        accumulate without materializing the drifted conductances
+        (see :class:`~repro.crossbar.lifetime.DriftPredictor`, which
+        inverts this law to schedule recalibration).
+        """
+        conductance = np.asarray(conductance, dtype=float)
+        if not np.isfinite(elapsed) or elapsed < 0:
+            raise ValueError("elapsed time must be finite and non-negative")
+        if self.drift_nu == 0.0 or elapsed == 0.0:
+            return np.ones_like(conductance)
+        time_factor = (self.drift_t0 + elapsed) / self.drift_t0
+        amorphous_fraction = 1.0 - (conductance - self.g_min) / self.dynamic_range
+        nu = self.drift_nu * np.clip(amorphous_fraction, 0.0, 1.0)
+        return time_factor ** (-nu)
+
     def drifted(self, conductance: np.ndarray, elapsed: float) -> np.ndarray:
         """Conductance after ``elapsed`` seconds of structural drift.
 
@@ -117,14 +137,12 @@ class PcmDevice:
         drift.  The exponent is interpolated linearly in between.
         """
         conductance = np.asarray(conductance, dtype=float)
-        if elapsed < 0:
-            raise ValueError("elapsed time must be non-negative")
         if self.drift_nu == 0.0 or elapsed == 0.0:
+            # keep the validation of the factor path for degenerate cases
+            if not np.isfinite(elapsed) or elapsed < 0:
+                raise ValueError("elapsed time must be finite and non-negative")
             return conductance.copy()
-        time_factor = (self.drift_t0 + elapsed) / self.drift_t0
-        amorphous_fraction = 1.0 - (conductance - self.g_min) / self.dynamic_range
-        nu = self.drift_nu * np.clip(amorphous_fraction, 0.0, 1.0)
-        return conductance * time_factor ** (-nu)
+        return conductance * self.drift_factors(conductance, elapsed)
 
     def accumulate(
         self,

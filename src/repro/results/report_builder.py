@@ -95,6 +95,17 @@ TREND_SECTIONS = [
             ("drift_fleet", "maintenance_fraction", "maintenance share of bill"),
         ],
     ),
+    (
+        "Fleet lifetime (predictive maintenance + faults):",
+        [
+            ("lifetime", "probe_saving", "predictive probe saving [x]"),
+            ("lifetime", "predictive_nmse_max", "predictive NMSE envelope"),
+            ("lifetime", "wallclock_nmse_max", "wall-clock NMSE envelope"),
+            ("lifetime", "faulted_availability", "availability under faults"),
+            ("lifetime", "faulted_retirements", "shards retired"),
+            ("lifetime", "maintenance_energy_uj", "lifetime maintenance [uJ]"),
+        ],
+    ),
 ]
 
 

@@ -325,3 +325,79 @@ class TestDriftAwareScheduling:
         dispersion = fleet.gain_dispersion()
         assert dispersion["gain_spread"] == 0.0
         assert dispersion["staleness_max_s"] == 0.0
+
+
+class TestRetirement:
+    def exact_fleet(self, small_matrix, n=3):
+        return ShardedOperator.from_matrix(
+            small_matrix, n_shards=n, batch_window=2, backend="exact"
+        )
+
+    def test_fresh_fleet_has_no_retirements(self, small_matrix):
+        fleet = self.exact_fleet(small_matrix)
+        assert fleet.retired_shards == (False, False, False)
+        assert fleet.n_active_shards == 3
+        assert fleet.retirement_log == []
+
+    def test_retire_is_idempotent_and_logged(self, small_matrix):
+        fleet = self.exact_fleet(small_matrix)
+        assert fleet.retire_shard(1) is True
+        assert fleet.retire_shard(1) is False
+        assert fleet.retired_shards == (False, True, False)
+        assert fleet.n_active_shards == 2
+        assert fleet.retirement_log == [1]
+
+    @pytest.mark.parametrize("bad", [-1, 3, 1.5])
+    def test_retire_validates_the_index(self, bad, small_matrix):
+        fleet = self.exact_fleet(small_matrix)
+        with pytest.raises(ValueError, match="shard must be an index"):
+            fleet.retire_shard(bad)
+
+    def test_round_robin_skips_retired_shards(self, small_matrix, rng):
+        fleet = self.exact_fleet(small_matrix)
+        fleet.retire_shard(1)
+        block = rng.standard_normal((small_matrix.shape[1], 8))
+        plan = fleet.plan_assignments(block)
+        owners = [owner for _, _, owner in plan]
+        assert 1 not in owners
+        assert set(owners) == {0, 2}
+
+    def test_greedy_rebalances_onto_survivors(self, small_matrix, rng):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=3, batch_window=2, backend="exact",
+            schedule="greedy",
+        )
+        fleet.retire_shard(0)
+        block = rng.standard_normal((small_matrix.shape[1], 8))
+        fleet.matmat(block)
+        assert fleet.loads[0] == 0
+        assert fleet.loads[1] > 0 and fleet.loads[2] > 0
+
+    def test_retired_result_matches_the_full_fleet(self, small_matrix, rng):
+        block = rng.standard_normal((small_matrix.shape[1], 6))
+        full = self.exact_fleet(small_matrix)
+        degraded = self.exact_fleet(small_matrix)
+        degraded.retire_shard(2)
+        assert np.allclose(full.matmat(block), degraded.matmat(block))
+
+    def test_all_retired_raises_only_then(self, small_matrix, rng):
+        fleet = self.exact_fleet(small_matrix, n=2)
+        block = rng.standard_normal((small_matrix.shape[1], 4))
+        fleet.retire_shard(0)
+        fleet.matmat(block)  # one survivor still serves
+        fleet.retire_shard(1)
+        with pytest.raises(RuntimeError, match="no serving capacity"):
+            fleet.matmat(block)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_advance_time_validates_before_any_shard_ages(self, bad, rng):
+        matrix = rng.standard_normal((4, 6))
+        shards = [
+            CrossbarOperator(matrix, device=PcmDevice.ideal(), seed=i)
+            for i in range(2)
+        ]
+        fleet = ShardedOperator(shards, batch_window=2)
+        with pytest.raises(ValueError, match="finite non-negative"):
+            fleet.advance_time(bad)
+        # validation happened before the loop: no shard aged at all
+        assert fleet.shard_ages == (0.0, 0.0)
