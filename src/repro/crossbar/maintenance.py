@@ -58,6 +58,7 @@ unchanged.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -219,6 +220,7 @@ class FleetMaintenance:
         self.n_probes = int(n_probes)
         self.programming_iterations = programming_iterations
         self._rng = as_rng(seed)
+        self._sweep_lock = threading.Lock()
         self.actions: list[MaintenanceAction] = []
         self._stats: dict[str, int] = {key: 0 for key in _REQUIRED_STAT_KEYS}
         self._shard_predictors: dict[int, object] = {}
@@ -320,14 +322,27 @@ class FleetMaintenance:
         ``advance_time`` — never during dispatch — so the cheap
         lock-free "anything due?" pre-check cannot miss work, and a
         fleet with nothing due pays no quiescing cost.
+
+        Sweeps are serialized: every dispatch entry point calls this
+        method, so two concurrent dispatchers can both pass the
+        lock-free pre-check while the same shard is due.  The service
+        pass therefore runs under a sweep lock and *re-checks* the due
+        state after acquiring it — the second sweeper observes the
+        staleness the first one just reset and leaves without
+        double-servicing (or double-logging, or double-billing) any
+        shard.  The re-check is what makes the pre-check safe to keep
+        lock-free on the idle fast path.
         """
         if not self._due_pairs():
             return []
-        quiesce = getattr(self.fleet, "quiesce", None)
-        if quiesce is None:
-            return self._service_due()
-        with quiesce():
-            return self._service_due()
+        with self._sweep_lock:
+            if not self._due_pairs():
+                return []  # a concurrent sweeper serviced it first
+            quiesce = getattr(self.fleet, "quiesce", None)
+            if quiesce is None:
+                return self._service_due()
+            with quiesce():
+                return self._service_due()
 
     def _reprogram_and_verify(self, index: int, shard) -> tuple[str, float | None]:
         """One rewrite, verified when a budget is set; retires on failure.

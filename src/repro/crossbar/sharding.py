@@ -298,6 +298,18 @@ class ShardedOperator:
         sums; it just stops accumulating new work, probes or pulses.
         Returns ``True`` if the shard was live, ``False`` if it was
         already retired (retirement is idempotent).
+
+        Retirement mutates scheduler state (the retired flags the
+        candidate lists are built from, the retirement log, and the
+        round-robin cursor), so it runs under ``_scheduler_lock`` —
+        a retirement can never interleave a concurrent ``_assign`` /
+        :meth:`plan_assignments` mid-plan.  The round-robin cursor is
+        remapped onto the survivors so the shard that was next in the
+        rotation before the retirement is still next after it (minus
+        the retiree): the cursor indexes the *candidate list*, whose
+        length just changed, and without the remap a retirement would
+        silently re-base the rotation and skew which survivor serves
+        the next window.
         """
         if index != int(index) or not 0 <= index < len(self.shards):
             raise ValueError(
@@ -305,11 +317,22 @@ class ShardedOperator:
                 f"got {index!r}"
             )
         index = int(index)
-        if self._retired[index]:
-            return False
-        self._retired[index] = True
-        self.retirement_log.append(index)
-        return True
+        with self._scheduler_lock:
+            if self._retired[index]:
+                return False
+            candidates = self._active_indices()
+            survivors = [i for i in candidates if i != index]
+            if survivors:
+                position = self._cursor % len(candidates)
+                upcoming = candidates[position]
+                if upcoming == index:
+                    upcoming = candidates[(position + 1) % len(candidates)]
+                self._cursor = survivors.index(upcoming)
+            else:
+                self._cursor = 0
+            self._retired[index] = True
+            self.retirement_log.append(index)
+            return True
 
     @property
     def shard_ages(self) -> tuple[float, ...]:
@@ -604,7 +627,17 @@ class ShardedOperator:
         def reverse_and_transform(owner: int) -> None:
             columns = columns_of[owner]
             u_columns = self._shard_call(owner, "rmatmat", z_block[:, columns])
-            x_out[:, columns] = transform(u_columns, columns)
+            produced = np.asarray(transform(u_columns, columns))
+            if produced.shape != (n, columns.size):
+                # Without the check an (n,) or (n, 1) return would
+                # silently broadcast one column's values across the
+                # whole window.
+                raise ValueError(
+                    "transform must return a block of shape "
+                    f"({n}, {columns.size}) for its columns, got "
+                    f"{produced.shape}"
+                )
+            x_out[:, columns] = produced
 
         serial = self.parallelism == "serial"
         if serial:

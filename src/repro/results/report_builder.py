@@ -106,6 +106,16 @@ TREND_SECTIONS = [
             ("lifetime", "maintenance_energy_uj", "lifetime maintenance [uJ]"),
         ],
     ),
+    (
+        "Fleet serving (coalesced multi-tenant requests):",
+        [
+            ("serving", "coalesced_speedup", "coalesced vs per-request [x]"),
+            ("serving", "per_request_rps", "per-request dispatch [req/s]"),
+            ("serving", "coalesced_rps", "coalesced serving [req/s]"),
+            ("serving", "p99_below_knee_s", "p99 below the knee [s]"),
+            ("serving", "saturated_rps", "saturated throughput [req/s]"),
+        ],
+    ),
 ]
 
 

@@ -1,0 +1,55 @@
+"""Fleet-as-a-service: a serving layer over sharded crossbar fleets.
+
+The crossbar stack below this package answers *"how fast/cheap is one
+``(n, B)`` dispatch?"*; this package answers *"what does the fleet look
+like as a shared service?"* — many independent clients submitting
+single vectors, coalesced into full readout windows under a latency
+budget, with admission control at the door, drift maintenance scheduled
+into traffic lulls from the lifetime model's forecasts, and per-tenant
+metering that bills each workload through the same experiment store as
+every benchmark.
+
+Layering:
+
+* :mod:`~repro.serving.clock` — the deterministic time protocol
+  (:class:`VirtualClock`); the whole core is simulation-testable.
+* :mod:`~repro.serving.queue` — :class:`Request`/:class:`RequestResult`,
+  the deadline-bounded coalescing :class:`RequestQueue`, and
+  :class:`AdmissionController` overload behaviour.
+* :mod:`~repro.serving.server` — :class:`FleetServer`, the synchronous
+  core: dispatch, demux, latency/SLO tracking, largest-remainder
+  per-tenant counter attribution, ``kind="billing"`` store rows.
+* :mod:`~repro.serving.windows` — :class:`MaintenanceWindow`,
+  drift-forecast scheduling of :class:`FleetMaintenance` sweeps into
+  low-traffic slots on the shared service line.
+* :mod:`~repro.serving.async_server` — :class:`AsyncFleetServer`, the
+  thin asyncio facade for wall-clock deployments.
+"""
+
+from repro.serving.async_server import AsyncFleetServer
+from repro.serving.clock import VirtualClock
+from repro.serving.queue import (
+    ADMISSION_POLICIES,
+    REQUEST_KINDS,
+    AdmissionController,
+    Request,
+    RequestQueue,
+    RequestResult,
+)
+from repro.serving.server import BlockDispatch, FleetServer
+from repro.serving.windows import MaintenanceSlot, MaintenanceWindow
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "REQUEST_KINDS",
+    "AdmissionController",
+    "AsyncFleetServer",
+    "BlockDispatch",
+    "FleetServer",
+    "MaintenanceSlot",
+    "MaintenanceWindow",
+    "Request",
+    "RequestQueue",
+    "RequestResult",
+    "VirtualClock",
+]

@@ -1,0 +1,147 @@
+"""Asyncio facade over the deterministic serving core.
+
+:class:`AsyncFleetServer` is what a long-lived deployment actually
+runs: clients ``await submit(...)`` from any number of coroutines and
+get their own result back when its coalesced block completes.  All the
+scheduling logic lives in the synchronous
+:class:`~repro.serving.server.FleetServer` core — this wrapper only
+swaps the virtual clock for the event loop's clock, parks a future per
+in-flight request, and wakes a single background drainer whenever a
+coalesce deadline (or a new arrival that fills a block) makes work due.
+
+Keeping the facade this thin is deliberate: the core stays a pure
+function of its arrival trace (the determinism contract the test suite
+pins with a :class:`~repro.serving.clock.VirtualClock`), and the async
+layer adds only the one thing real time forces — waiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.serving.queue import RequestResult
+from repro.serving.server import FleetServer
+
+__all__ = ["AsyncFleetServer"]
+
+
+class _EventLoopClock:
+    """The running event loop's monotonic time, rebased to start at 0."""
+
+    def __init__(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+
+    def now(self) -> float:
+        return self._loop.time() - self._t0
+
+
+class AsyncFleetServer:
+    """Await-able serving front end: one future per submitted request.
+
+    Use as an async context manager::
+
+        async with AsyncFleetServer(fleet, coalesce_budget_s=0.01) as server:
+            y = await server.submit(x, tenant="alice")
+
+    Construction takes the same keyword arguments as
+    :class:`FleetServer` except ``clock`` (the event loop provides it).
+    The underlying core is exposed as :attr:`core` for accounting —
+    ``server.core.tenant_stats(...)``, ``server.core.latency_summary()``
+    and ``server.core.record_billing(...)`` work unchanged.
+    """
+
+    def __init__(self, fleet, **kwargs) -> None:
+        if "clock" in kwargs:
+            raise TypeError(
+                "AsyncFleetServer owns its clock (the event loop's); "
+                "use FleetServer directly for virtual-clock simulation"
+            )
+        self._fleet = fleet
+        self._kwargs = kwargs
+        self.core: FleetServer | None = None
+        self._futures: dict[int, asyncio.Future] = {}
+        self._consumed = 0
+        self._kick: asyncio.Event | None = None
+        self._drainer: asyncio.Task | None = None
+        self._closed = False
+
+    async def __aenter__(self) -> "AsyncFleetServer":
+        self.core = FleetServer(self._fleet, _EventLoopClock(), **self._kwargs)
+        self._kick = asyncio.Event()
+        self._drainer = asyncio.create_task(self._drain_loop())
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Flush everything queued, resolve its futures, stop draining."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._kick is not None:
+            self._kick.set()
+        if self._drainer is not None:
+            await self._drainer
+            self._drainer = None
+
+    async def submit(
+        self,
+        vector: np.ndarray,
+        tenant: str = "default",
+        kind: str = "matvec",
+    ) -> RequestResult:
+        """Queue one vector; resolves when its block has been served.
+
+        Raises :class:`asyncio.QueueFull` when admission control
+        rejects the request; a shed request resolves normally with
+        ``status="shed"`` (and no value) — callers that need the
+        distinction check ``result.status``.
+        """
+        if self.core is None or self._closed:
+            raise RuntimeError("AsyncFleetServer is not running")
+        request = self.core.submit(vector, tenant=tenant, kind=kind)
+        self._settle_new_completions()
+        if request is None:
+            raise asyncio.QueueFull(f"admission control rejected {tenant} {kind}")
+        if request.id in self.core.results:
+            return self.core.results[request.id]
+        future = asyncio.get_running_loop().create_future()
+        self._futures[request.id] = future
+        self._kick.set()
+        return await future
+
+    def _settle_new_completions(self) -> None:
+        completed = self.core.completed
+        while self._consumed < len(completed):
+            result = completed[self._consumed]
+            self._consumed += 1
+            future = self._futures.pop(result.request.id, None)
+            if future is not None and not future.done():
+                future.set_result(result)
+
+    async def _drain_loop(self) -> None:
+        while True:
+            self.core.step()
+            self._settle_new_completions()
+            if self._closed:
+                self.core.flush()
+                self._settle_new_completions()
+                return
+            deadline = self.core.next_deadline_s()
+            self._kick.clear()
+            if deadline is None:
+                await self._kick.wait()
+            else:
+                delay = max(0.0, deadline - self.core.clock.now())
+                try:
+                    await asyncio.wait_for(self._kick.wait(), timeout=delay)
+                except asyncio.TimeoutError:
+                    pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "running"
+        return f"AsyncFleetServer({state}, pending={len(self._futures)})"

@@ -1,0 +1,46 @@
+"""Deterministic time source for the serving layer.
+
+Every latency, deadline and maintenance-window decision in
+:mod:`repro.serving` reads time through a clock object with a single
+``now()`` method — never the wall clock.  :class:`VirtualClock` is the
+simulation implementation: time advances only when the harness says so,
+which makes a whole serving trace (arrivals, coalescing deadlines,
+queue/service latencies, maintenance slots) a pure function of the
+submitted requests and the advance calls — replayable bit for bit.
+
+The asyncio facade substitutes an event-loop clock with the same
+protocol; the core never knows the difference.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_elapsed
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Simulated time: starts at ``start_s`` and only moves on demand."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        start_s = float(start_s)
+        if not start_s >= 0.0:
+            raise ValueError(f"start_s must be >= 0, got {start_s!r}")
+        self._now_s = start_s
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_s
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new ``now()``.
+
+        ``seconds`` is validated (finite, non-negative) so a bad value
+        can never run the simulation backwards or NaN-poison every
+        latency computed afterwards.
+        """
+        self._now_s += check_elapsed("seconds", seconds)
+        return self._now_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now_s:g})"

@@ -389,6 +389,49 @@ class TestRetirement:
         with pytest.raises(RuntimeError, match="no serving capacity"):
             fleet.matmat(block)
 
+    def test_round_robin_rotation_survives_a_retirement(self, small_matrix, rng):
+        """Regression: the cursor indexes the candidate list, so a
+        retirement used to re-base ``cursor % len(candidates)`` and skew
+        which survivor got the next window.  The cursor is now remapped:
+        whoever was next before the retirement is still next after it."""
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=4, batch_window=1, backend="exact"
+        )
+        block = rng.standard_normal((small_matrix.shape[1], 5))
+        fleet.matmat(block)  # windows -> shards 0,1,2,3,0; cursor = 5
+        single = rng.standard_normal((small_matrix.shape[1], 1))
+        assert fleet.plan_assignments(single) == [(0, 1, 1)]  # shard 1 is next
+        fleet.retire_shard(3)  # not the next shard: rotation must not move
+        assert fleet.plan_assignments(single) == [(0, 1, 1)]
+        served = []
+        for _ in range(6):
+            served.append(fleet.plan_assignments(single)[0][2])
+            fleet.matmat(single)
+        assert served == [1, 2, 0, 1, 2, 0]  # rotation order over survivors
+
+    def test_retiring_the_next_shard_advances_to_its_successor(
+        self, small_matrix, rng
+    ):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=3, batch_window=1, backend="exact"
+        )
+        single = rng.standard_normal((small_matrix.shape[1], 1))
+        fleet.matmat(single)  # shard 0 served; shard 1 is next
+        fleet.retire_shard(1)
+        served = []
+        for _ in range(4):
+            served.append(fleet.plan_assignments(single)[0][2])
+            fleet.matmat(single)
+        assert served == [2, 0, 2, 0]
+
+    def test_retiring_the_last_survivor_resets_the_cursor(self, small_matrix):
+        fleet = ShardedOperator.from_matrix(
+            small_matrix, n_shards=2, batch_window=1, backend="exact"
+        )
+        fleet.retire_shard(0)
+        fleet.retire_shard(1)
+        assert fleet._cursor == 0
+
     @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
     def test_advance_time_validates_before_any_shard_ages(self, bad, rng):
         matrix = rng.standard_normal((4, 6))

@@ -320,6 +320,222 @@ class TestConcurrentCallers:
         assert len(generator_ids(split)) == 3  # one child stream per replica
 
 
+class TestRetirementRaces:
+    def test_retire_during_concurrent_dispatch_loses_nothing(self):
+        """Regression: ``retire_shard`` used to flip ``_retired`` and
+        append to ``retirement_log`` outside ``_scheduler_lock``, racing
+        the ``_assign``/``plan_assignments`` readers of concurrent
+        dispatches.  Under the lock, a retirement mid-traffic must leave
+        every dispatched column in exactly one shard's ledger and the
+        retired shard out of every subsequently planned window."""
+        rng = np.random.default_rng(71)
+        matrix = rng.standard_normal((12, 16))
+        fleet = ShardedOperator.from_matrix(
+            matrix,
+            n_shards=4,
+            batch_window=3,
+            parallelism="threads",
+            n_workers=8,
+            stream="per_shard",
+            seed=8,
+        )
+        n_callers, calls_each, batch = 6, 8, 9
+        blocks = rng.standard_normal((n_callers, 16, batch))
+        errors = []
+        started = threading.Barrier(n_callers + 1)
+
+        def hammer(caller):
+            try:
+                started.wait()
+                for _ in range(calls_each):
+                    fleet.matmat(blocks[caller])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(caller,))
+            for caller in range(n_callers)
+        ]
+        for thread in threads:
+            thread.start()
+        started.wait()
+        assert fleet.retire_shard(2) is True  # mid-traffic retirement
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert fleet.retired_shards == (False, False, True, False)
+        assert fleet.retirement_log == [2]
+        total_columns = n_callers * calls_each * batch
+        merged = fleet.stats
+        assert merged["n_matvec"] == total_columns
+        assert sum(fleet.loads) == total_columns
+        summed = {}
+        for shard_stats in fleet.shard_stats:
+            for key, value in shard_stats.items():
+                summed[key] = summed.get(key, 0) + value
+        assert summed == merged
+        # After the retirement settles, no new window plans onto shard 2.
+        plan = fleet.plan_assignments(rng.standard_normal((16, 12)))
+        assert all(owner != 2 for _, _, owner in plan)
+        fleet.shutdown()
+
+    def test_concurrent_retire_calls_log_once(self):
+        rng = np.random.default_rng(72)
+        fleet = ShardedOperator.from_matrix(
+            rng.standard_normal((6, 8)), n_shards=3, batch_window=2,
+            backend="exact",
+        )
+        outcomes = []
+        started = threading.Barrier(4)
+
+        def retire():
+            started.wait()
+            outcomes.append(fleet.retire_shard(1))
+
+        threads = [threading.Thread(target=retire) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(outcomes) == [False, False, False, True]
+        assert fleet.retirement_log == [1]  # exactly one log entry
+
+
+class _SlowFakeShard:
+    """Calibratable shard with a service delay wide enough that two
+    unserialized sweepers reliably overlap inside the service pass."""
+
+    def __init__(self):
+        self.staleness_seconds = 100.0
+        self.stats = {}
+        self.calibrations = 0
+
+    def calibrate(self, n_probes, seed):
+        import time
+
+        time.sleep(0.05)  # hold both racers inside the service window
+        self.calibrations += 1
+        self.staleness_seconds = 0.0
+        return 1.0
+
+    def reprogram(self, iterations=None, **kwargs):  # pragma: no cover
+        raise AssertionError("sweep must not escalate in this test")
+
+
+class _BareFleet:
+    """Minimal fleet protocol: shards only — no quiesce, no retirement.
+
+    ``FleetMaintenance`` explicitly supports such fleets (``quiesce`` is
+    looked up with ``getattr``), so sweep serialization cannot lean on
+    the shard locks a ``ShardedOperator`` happens to have."""
+
+    def __init__(self, shards):
+        self.shards = shards
+
+
+class TestSweepSerialization:
+    def test_racing_sweeps_cannot_double_service_a_shard(self):
+        """Regression: two concurrent dispatchers could both pass the
+        lock-free due pre-check in ``FleetMaintenance.sweep`` and both
+        service (and double-log, and double-bill) the same shard.  The
+        sweep lock + due re-check lets exactly one through."""
+        shard = _SlowFakeShard()
+        policy = FleetMaintenance(
+            _BareFleet([shard]), recalibrate_after_s=50.0, attach=False
+        )
+        started = threading.Barrier(2)
+        performed = []
+
+        def sweep():
+            started.wait()
+            performed.append(policy.sweep())
+
+        threads = [threading.Thread(target=sweep) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert shard.calibrations == 1
+        assert len(policy.actions) == 1
+        # one sweeper did the work, the other observed nothing due
+        assert sorted(len(actions) for actions in performed) == [0, 1]
+
+    def test_racing_dispatchers_on_a_real_fleet_log_each_action_once(self):
+        problem_rng = np.random.default_rng(73)
+        matrix = problem_rng.standard_normal((12, 16))
+        fleet = ShardedOperator.from_matrix(
+            matrix,
+            n_shards=3,
+            batch_window=4,
+            parallelism="threads",
+            stream="per_shard",
+            seed=9,
+        )
+        policy = FleetMaintenance(fleet, recalibrate_after_s=10.0, seed=10)
+        fleet.advance_time(50.0)  # every shard due at the next dispatch
+        blocks = problem_rng.standard_normal((4, 16, 8))
+        started = threading.Barrier(4)
+        errors = []
+
+        def dispatch(caller):
+            try:
+                started.wait()
+                fleet.matmat(blocks[caller])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=dispatch, args=(caller,))
+            for caller in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        serviced = [action.shard for action in policy.actions]
+        assert sorted(serviced) == [0, 1, 2]  # once each, never twice
+        fleet.shutdown()
+
+
+class TestFusedSweepTransformValidation:
+    @pytest.mark.parametrize("parallelism", PARALLELISM_MODES)
+    def test_column_vector_return_is_rejected(self, parallelism, rng):
+        """Regression: an (n, 1) transform return silently broadcast one
+        column's values across the whole window via fancy-index
+        assignment; fused_sweep now validates the block shape."""
+        matrix = rng.standard_normal((18, 30))
+        fleet = ShardedOperator.from_matrix(
+            matrix, n_shards=2, batch_window=3, backend="exact",
+            parallelism=parallelism,
+        )
+        z_block = rng.standard_normal((18, 6))
+        with pytest.raises(ValueError, match="transform must return"):
+            fleet.fused_sweep(z_block, lambda u, cols: u[:, :1])
+        fleet.shutdown()
+
+    def test_flat_vector_return_is_rejected(self, rng):
+        matrix = rng.standard_normal((18, 30))
+        fleet = ShardedOperator.from_matrix(
+            matrix, n_shards=1, batch_window=30, backend="exact"
+        )
+        # columns.size == n here, so the 1-D return would broadcast
+        # without erroring at the numpy layer — exactly the silent case.
+        z_block = rng.standard_normal((18, 30))
+        with pytest.raises(ValueError, match="transform must return"):
+            fleet.fused_sweep(z_block, lambda u, cols: np.zeros(30))
+
+    def test_valid_transform_still_round_trips(self, rng):
+        matrix = rng.standard_normal((18, 30))
+        fleet = ShardedOperator.from_matrix(
+            matrix, n_shards=2, batch_window=4, backend="exact"
+        )
+        z_block = rng.standard_normal((18, 6))
+        x_out, q_out = fleet.fused_sweep(z_block, lambda u, cols: u)
+        assert np.array_equal(x_out, matrix.T @ z_block)
+        assert np.allclose(q_out, matrix @ x_out)
+
+
 class TestSchedulePurity:
     @pytest.mark.parametrize("schedule", SHARD_SCHEDULES)
     def test_assignment_is_pure_function_of_block_and_state(self, schedule, rng):

@@ -1,0 +1,168 @@
+"""Tests for the asyncio serving facade.
+
+The facade adds exactly one behaviour to the synchronous core —
+waiting on real time — so these tests pin the await/resolve plumbing
+(futures resolve with their own request's result, rejection surfaces as
+an exception, close drains) and leave the scheduling semantics to the
+virtual-clock suites.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.crossbar import ShardedOperator
+from repro.serving import AdmissionController, AsyncFleetServer
+
+
+@pytest.fixture
+def fleet(small_matrix):
+    return ShardedOperator.from_matrix(
+        small_matrix, n_shards=2, batch_window=4, backend="exact"
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_rejects_an_explicit_clock(self, fleet):
+        with pytest.raises(TypeError, match="owns its clock"):
+            AsyncFleetServer(fleet, clock=object())
+
+    def test_submit_outside_context_raises(self, fleet, rng):
+        server = AsyncFleetServer(fleet)
+
+        async def scenario():
+            await server.submit(rng.standard_normal(fleet.shape[1]))
+
+        with pytest.raises(RuntimeError, match="not running"):
+            run(scenario())
+
+    def test_close_is_idempotent(self, fleet):
+        async def scenario():
+            async with AsyncFleetServer(fleet) as server:
+                await server.close()
+                await server.close()
+
+        run(scenario())
+
+
+class TestServing:
+    def test_concurrent_clients_coalesce_and_get_their_own_results(
+        self, fleet, rng
+    ):
+        n = fleet.shape[1]
+        vectors = [rng.standard_normal(n) for _ in range(8)]
+
+        async def scenario():
+            async with AsyncFleetServer(
+                fleet, coalesce_budget_s=0.01, window_service_s=0.0
+            ) as server:
+                results = await asyncio.gather(
+                    *[server.submit(vector) for vector in vectors]
+                )
+                return results, list(server.core.block_log)
+
+        results, blocks = run(scenario())
+        assert all(result.status == "served" for result in results)
+        for vector, result in zip(vectors, results):
+            np.testing.assert_allclose(result.value, fleet.matrix @ vector)
+        # eight concurrent single-vector clients should not have cost
+        # eight dispatches
+        assert len(blocks) <= 4
+        assert sum(block.columns for block in blocks) == 8
+
+    def test_both_directions_serve(self, fleet, rng):
+        m, n = fleet.shape
+
+        async def scenario():
+            async with AsyncFleetServer(
+                fleet, coalesce_budget_s=0.01, window_service_s=0.0
+            ) as server:
+                forward = server.submit(rng.standard_normal(n), kind="matvec")
+                transpose = server.submit(
+                    rng.standard_normal(m), kind="rmatvec"
+                )
+                return await asyncio.gather(forward, transpose)
+
+        forward, transpose = run(scenario())
+        assert forward.value.shape == (m,)
+        assert transpose.value.shape == (n,)
+
+    def test_rejection_surfaces_as_queue_full(self, fleet, rng):
+        n = fleet.shape[1]
+
+        async def scenario():
+            async with AsyncFleetServer(
+                fleet,
+                coalesce_budget_s=10.0,
+                window_service_s=0.0,
+                block_columns=64,
+                admission=AdmissionController(2, policy="reject"),
+            ) as server:
+                first = asyncio.ensure_future(
+                    server.submit(rng.standard_normal(n))
+                )
+                second = asyncio.ensure_future(
+                    server.submit(rng.standard_normal(n))
+                )
+                await asyncio.sleep(0)
+                with pytest.raises(asyncio.QueueFull):
+                    await server.submit(rng.standard_normal(n))
+                await server.close()
+                return await asyncio.gather(first, second)
+
+        results = run(scenario())
+        assert [result.status for result in results] == ["served", "served"]
+
+    def test_close_flushes_the_backlog(self, fleet, rng):
+        n = fleet.shape[1]
+
+        async def scenario():
+            async with AsyncFleetServer(
+                fleet,
+                coalesce_budget_s=100.0,
+                window_service_s=0.0,
+                block_columns=64,
+            ) as server:
+                pending = [
+                    asyncio.ensure_future(
+                        server.submit(rng.standard_normal(n))
+                    )
+                    for _ in range(3)
+                ]
+                await asyncio.sleep(0)
+                # nothing can dispatch before the 100 s budget expires;
+                # closing must flush rather than strand the futures
+            return await asyncio.gather(*pending)
+
+        results = run(scenario())
+        assert all(result.status == "served" for result in results)
+
+    def test_tenant_accounting_reaches_the_core(self, fleet, rng):
+        n = fleet.shape[1]
+
+        async def scenario():
+            async with AsyncFleetServer(
+                fleet, coalesce_budget_s=0.01, window_service_s=0.0
+            ) as server:
+                await asyncio.gather(
+                    *[
+                        server.submit(
+                            rng.standard_normal(n),
+                            tenant="alice" if i % 2 else "bob",
+                        )
+                        for i in range(6)
+                    ]
+                )
+                return server.core
+
+        core = run(scenario())
+        assert core.tenants == ("alice", "bob")
+        total = sum(
+            core.tenant_stats(t)["n_matvec"] for t in core.tenants
+        )
+        assert total == fleet.stats["n_matvec"]
