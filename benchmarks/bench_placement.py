@@ -1,0 +1,162 @@
+"""Placement optimizer benchmark: modeled cost vs the fixed schedules.
+
+The cost-model-driven placement layer must actually buy something on
+the fleets it was built for, and must cost *nothing* on the fleets it
+was not.  This benchmark pins both directions and emits
+``benchmarks/results/BENCH_placement.json`` for CI archival:
+
+* **heterogeneous improvement** — on a drifted fleet (mixed shard ages
+  and gains) the optimized schedule's assignment, priced under the
+  optimizer's cost model, must beat the better of round-robin and
+  greedy by at least 10 %;
+* **homogeneous exactness** — on a uniform fleet the optimized
+  schedule must be *bitwise* identical to plain greedy: same results,
+  same loads, same merged counters, across a ragged block stream;
+* **oracle gap** — on randomized small instances the heuristic solver
+  (labeling + move/swap local search) stays within 20 % of the exact
+  branch-and-bound optimum.
+
+Run:  PYTHONPATH=src python -m pytest -q benchmarks/bench_placement.py
+"""
+
+import numpy as np
+
+from repro.crossbar import PlacementOptimizer, ShardState, ShardedOperator
+from repro.devices import PcmDevice
+
+N, M = 96, 48
+SHARDS = 4
+WINDOW = 4
+BATCH = 48  # 12 windows per block
+AGES_S = (8e6, 0.0, 2e6, 4e6)
+MIN_IMPROVEMENT = 0.10
+MAX_ORACLE_GAP = 1.2
+ORACLE_TRIALS = 15
+
+
+def build_fleet(matrix, schedule, ages=None):
+    fleet = ShardedOperator.from_matrix(
+        matrix,
+        n_shards=SHARDS,
+        batch_window=WINDOW,
+        schedule=schedule,
+        device=PcmDevice.ideal(),
+        seed=13,
+    )
+    for shard, age in enumerate(ages or ()):
+        if age:
+            fleet.advance_time(age, shard=shard)
+    return fleet
+
+
+def test_placement_optimizer(write_result):
+    rng = np.random.default_rng(42)
+    matrix = rng.standard_normal((M, N))
+
+    # -- heterogeneous fleets: modeled-cost improvement ----------------
+    block = rng.standard_normal((N, BATCH))
+    reference = build_fleet(matrix, "optimized", AGES_S)
+    optimizer = reference.optimizer
+    states = reference._shard_states()
+    weights = [active for _, _, active in reference._window_actives(block)]
+    costs = {}
+    for schedule in ("round_robin", "greedy", "optimized"):
+        fleet = build_fleet(matrix, schedule, AGES_S)
+        plan = fleet.plan_assignments(block)
+        assignment = [shard for _, _, shard in plan]
+        costs[schedule] = optimizer.evaluate(assignment, weights, states)["cost"]
+    best_fixed = min(costs["round_robin"], costs["greedy"])
+    improvement = 1.0 - costs["optimized"] / best_fixed
+
+    # -- homogeneous fleet: bitwise-greedy exactness -------------------
+    greedy = build_fleet(matrix, "greedy")
+    optimized = build_fleet(matrix, "optimized")
+    stream = np.random.default_rng(7)
+    bitwise_equal = True
+    for width in (17, 5, 12, 1, 9):
+        ragged = stream.standard_normal((N, width))
+        ragged[:, width % 3 :: 5] = 0.0  # dead windows in the mix
+        bitwise_equal &= bool(
+            np.array_equal(optimized.matmat(ragged), greedy.matmat(ragged))
+        )
+    z_block = stream.standard_normal((M, 6))
+    bitwise_equal &= bool(
+        np.array_equal(optimized.rmatmat(z_block), greedy.rmatmat(z_block))
+    )
+    bitwise_equal &= optimized.loads == greedy.loads
+    counters_equal = optimized.stats == greedy.stats
+
+    # -- oracle gap: heuristic vs exact branch-and-bound ---------------
+    trial_rng = np.random.default_rng(2024)
+    worst_gap = 1.0
+    for _ in range(ORACLE_TRIALS):
+        n_shards = int(trial_rng.integers(2, 5))
+        shards = [
+            ShardState(
+                i,
+                load=int(trial_rng.integers(0, 5)),
+                gain=float(1.0 + trial_rng.normal(0.0, 0.08)),
+                staleness_s=float(trial_rng.uniform(0.0, 5e5)),
+            )
+            for i in range(n_shards)
+        ]
+        items = [int(w) for w in trial_rng.integers(0, 7, size=7)]
+        exact = optimizer.optimize(items, shards, solver="exact")
+        heuristic = optimizer.optimize(items, shards, solver="heuristic")
+        if exact.cost > 0:
+            worst_gap = max(worst_gap, heuristic.cost / exact.cost)
+
+    payload = {
+        "problem": {"n": N, "m": M, "batch": BATCH},
+        "shards": SHARDS,
+        "batch_window": WINDOW,
+        "ages_s": list(AGES_S),
+        "cost_round_robin": costs["round_robin"],
+        "cost_greedy": costs["greedy"],
+        "cost_optimized": costs["optimized"],
+        "improvement_vs_best_fixed": improvement,
+        "homogeneous_bitwise_equal": bitwise_equal,
+        "homogeneous_counters_equal": counters_equal,
+        "oracle_worst_gap": worst_gap,
+        "oracle_trials": ORACLE_TRIALS,
+    }
+    lines = [
+        "Placement optimizer - modeled cost vs fixed schedules",
+        f"  problem               : A {M}x{N}, B={BATCH}, "
+        f"{SHARDS} shards, window {WINDOW}",
+        f"  shard ages            : {', '.join(f'{a:.0e}' for a in AGES_S)} s",
+        f"  round-robin cost      : {costs['round_robin']:10.2f}",
+        f"  greedy cost           : {costs['greedy']:10.2f}",
+        f"  optimized cost        : {costs['optimized']:10.2f}  "
+        f"({improvement * 100:.1f} % better than best fixed, "
+        f"required >= {MIN_IMPROVEMENT * 100:.0f} %)",
+        f"  homogeneous bitwise   : {bitwise_equal}",
+        f"  homogeneous counters  : {counters_equal}",
+        f"  oracle worst gap      : {worst_gap:.3f}x  "
+        f"(over {ORACLE_TRIALS} instances, required <= {MAX_ORACLE_GAP}x)",
+    ]
+    write_result(
+        "placement",
+        "\n".join(lines),
+        config={
+            "n": N,
+            "m": M,
+            "batch": BATCH,
+            "shards": SHARDS,
+            "window": WINDOW,
+            "ages_s": list(AGES_S),
+        },
+        gates={
+            "improvement_vs_best_fixed": ("higher", 0.25),
+            "homogeneous_bitwise_equal": ("equal", 0.5),
+            "homogeneous_counters_equal": ("equal", 0.5),
+            "oracle_worst_gap": ("lower", 0.1),
+        },
+        gate_json=payload,
+        kind="placement",
+    )
+
+    assert improvement >= MIN_IMPROVEMENT
+    assert bitwise_equal
+    assert counters_equal
+    assert worst_gap <= MAX_ORACLE_GAP

@@ -18,10 +18,16 @@ Public API
   conversion accounting.
 * :class:`ShardedOperator` — window-schedules batches larger than one
   array's readout window across operator replicas (round-robin,
-  greedy-by-active-columns or drift-aware) with exactly merged
-  conversion counters and per-shard drift clocks; per-shard reads run
-  serially or on a thread pool (``parallelism="threads"``) with
-  identical scheduling, results and counters.
+  greedy-by-active-columns, drift-aware or placement-optimized) with
+  exactly merged conversion counters and per-shard drift clocks;
+  per-shard reads run serially or on a thread pool
+  (``parallelism="threads"``) with identical scheduling, results and
+  counters.
+* :class:`PlacementOptimizer` — cost-model-driven co-optimization of
+  window→shard dispatch, tile→array placement and the ``banks=k``
+  readout configuration under area/peak-power budgets, with an exact
+  branch-and-bound oracle and fast labeling + local-search heuristics
+  behind one API (``schedule="optimized"`` consumes it).
 * :class:`FleetMaintenance` — scheduled recalibration/reprogramming of
   drifting shards between dispatch windows, with separable counters,
   predictive (drift-model-driven) triggers and calibrate → reprogram →
@@ -54,6 +60,12 @@ from repro.crossbar.lifetime import (
 from repro.crossbar.maintenance import FleetMaintenance, MaintenanceAction
 from repro.crossbar.nonidealities import apply_stuck_faults, ir_drop_factors
 from repro.crossbar.operator import CrossbarOperator, DenseOperator
+from repro.crossbar.placement import (
+    PLACEMENT_SOLVERS,
+    PlacementOptimizer,
+    PlacementPlan,
+    ShardState,
+)
 from repro.crossbar.programming import ProgrammingReport, program_and_verify
 from repro.crossbar.sharding import (
     PARALLELISM_MODES,
@@ -79,8 +91,12 @@ __all__ = [
     "MaintenanceAction",
     "MixedPrecisionSolver",
     "PARALLELISM_MODES",
+    "PLACEMENT_SOLVERS",
+    "PlacementOptimizer",
+    "PlacementPlan",
     "ProgrammingReport",
     "SHARD_SCHEDULES",
+    "ShardState",
     "ShardedOperator",
     "SolveResult",
     "apply_stuck_faults",

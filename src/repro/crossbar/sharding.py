@@ -8,7 +8,7 @@ dispatches the windows across one or more operator replicas that share
 the same programmed matrix but keep independent device noise and
 conversion counters (the ISAAC-style multi-tile serving scenario).
 
-Three scheduling policies are provided:
+Four scheduling policies are provided:
 
 * ``"round_robin"`` — windows rotate across the shards in arrival
   order (the cursor persists across calls, so successive requests keep
@@ -21,9 +21,19 @@ Three scheduling policies are provided:
   are charged up to ``staleness_weight`` extra windows' worth of load,
   steering live traffic toward fresh replicas while stale ones await
   the :class:`~repro.crossbar.maintenance.FleetMaintenance` sweep.
-  With all shards equally stale (in particular on a fresh fleet) the
-  penalty is uniform and the schedule is bitwise identical to
-  ``"greedy"``.
+  The penalty normalizer is frozen once per dispatched block — every
+  window of one block is judged against the same staleness snapshot —
+  so uniform staleness (in particular the all-fresh fleet) yields a
+  uniform penalty and the schedule is bitwise identical to
+  ``"greedy"``;
+* ``"optimized"`` — each block's window→shard assignment is planned by
+  a :class:`~repro.crossbar.placement.PlacementOptimizer` minimizing
+  modeled latency/energy from the fleet's loads, gains and staleness
+  (cost-greedy labeling plus local search).  On a homogeneous fleet —
+  equal gains and staleness everywhere — the optimizer's labeling *is*
+  the greedy argmin, tie-breaks included, so dispatch is bitwise
+  identical to ``"greedy"``; heterogeneous fleets get the modeled-cost
+  improvement ``benchmarks/bench_placement.py`` gates.
 
 All three leave *degenerate* windows — all-zero, carrying no device
 work — out of the scheduler state: a dead window is served by whichever
@@ -96,11 +106,12 @@ import numpy as np
 
 from repro._util import as_rng, check_elapsed, check_in
 from repro.crossbar.operator import CrossbarOperator, DenseOperator
+from repro.crossbar.placement import PlacementOptimizer, ShardState
 from repro.crossbar.tile import split_ranges
 
 __all__ = ["PARALLELISM_MODES", "SHARD_SCHEDULES", "ShardedOperator"]
 
-SHARD_SCHEDULES = ("round_robin", "greedy", "drift_aware")
+SHARD_SCHEDULES = ("round_robin", "greedy", "drift_aware", "optimized")
 PARALLELISM_MODES = ("serial", "threads")
 
 
@@ -119,12 +130,16 @@ class ShardedOperator:
         Maximum batch columns one shard digitizes per dispatch — the
         physical readout window of one array.
     schedule:
-        ``"round_robin"``, ``"greedy"`` or ``"drift_aware"`` (see
-        module docstring).
+        ``"round_robin"``, ``"greedy"``, ``"drift_aware"`` or
+        ``"optimized"`` (see module docstring).
     staleness_weight:
         Extra load (in units of full windows) a maximally stale shard
         is charged under the ``"drift_aware"`` schedule; 0 disables the
         penalty.  Ignored by the other schedules.
+    optimizer:
+        The :class:`~repro.crossbar.placement.PlacementOptimizer`
+        behind ``schedule="optimized"`` (``None`` builds one with
+        default cost weights).  Rejected under the other schedules.
     parallelism:
         ``"serial"`` (default) executes the per-shard calls of one
         dispatch in shard order; ``"threads"`` runs them concurrently
@@ -143,6 +158,7 @@ class ShardedOperator:
         staleness_weight: float = 1.0,
         parallelism: str = "serial",
         n_workers: int | None = None,
+        optimizer: PlacementOptimizer | None = None,
     ) -> None:
         shards = list(shards)
         if not shards:
@@ -173,15 +189,28 @@ class ShardedOperator:
         check_in("parallelism", parallelism, PARALLELISM_MODES)
         if n_workers is not None and (n_workers != int(n_workers) or n_workers < 1):
             raise ValueError("n_workers must be an integer >= 1 or None")
+        if optimizer is not None and schedule != "optimized":
+            raise ValueError(
+                "optimizer applies to schedule='optimized' only; "
+                f"got schedule={schedule!r}"
+            )
         self.shards = shards
         self.batch_window = int(batch_window)
         self.schedule = schedule
         self.staleness_weight = float(staleness_weight)
         self.parallelism = parallelism
         self.n_workers = int(n_workers) if n_workers is not None else len(shards)
+        self.optimizer = (
+            (optimizer if optimizer is not None else PlacementOptimizer())
+            if schedule == "optimized"
+            else None
+        )
         self.maintenance = None
         self._loads = [0] * len(shards)
         self._cursor = 0
+        # One-shot precomputed window→shard plan (install_plan); the
+        # next dispatched block consumes it instead of re-planning.
+        self._pinned_plan: list[tuple[int, int, int]] | None = None
         # Retirement: a shard whose reprogram cannot hit the verify
         # target is taken out of rotation.  Retired shards keep their
         # historical counters (merged stats stay the key-wise sums) but
@@ -208,6 +237,7 @@ class ShardedOperator:
         staleness_weight: float = 1.0,
         parallelism: str = "serial",
         n_workers: int | None = None,
+        optimizer: PlacementOptimizer | None = None,
         backend: str = "crossbar",
         stream: str = "shared",
         seed: int | np.random.Generator | None = None,
@@ -254,6 +284,7 @@ class ShardedOperator:
             staleness_weight=staleness_weight,
             parallelism=parallelism,
             n_workers=n_workers,
+            optimizer=optimizer,
         )
 
     # -- introspection ---------------------------------------------------------
@@ -392,6 +423,13 @@ class ShardedOperator:
         including the all-zero fresh fleet — yields a uniform penalty,
         which leaves the greedy argmin (and therefore the dispatch)
         unchanged.
+
+        Computed **once per dispatched block** and reused for every
+        window in it.  Recomputing per window would let staleness
+        advancing mid-block re-normalize the penalties between two
+        windows of one assignment — drifting the argmin within a block
+        and silently flattening a uniformly-stale fleet's differential
+        penalty to zero at every single call.
         """
         count = len(self.shards)
         if self.schedule != "drift_aware" or self.staleness_weight == 0.0:
@@ -403,8 +441,38 @@ class ShardedOperator:
         scale = self.staleness_weight * self.batch_window / top
         return [scale * value for value in stale]
 
-    def _pick_shard(self, active_columns: int) -> int:
+    def _shard_states(self) -> list[ShardState]:
+        """The live shards as the placement optimizer sees them."""
+        if not self._active_indices():
+            raise RuntimeError(
+                "all shards are retired; the fleet has no serving capacity"
+            )
+        gains = self.shard_gains
+        staleness = self.shard_staleness
+        return [
+            ShardState(
+                index=i,
+                load=self._loads[i],
+                gain=gains[i],
+                staleness_s=staleness[i],
+            )
+            for i in self._active_indices()
+        ]
+
+    def _pick_shard(
+        self,
+        active_columns: int,
+        penalties: list[float] | None = None,
+        forced: int | None = None,
+    ) -> int:
         """Choose the shard for one window and record its load.
+
+        ``penalties`` is the block's frozen drift-aware penalty vector
+        (computed when ``None`` — the single-window paths, where one
+        window *is* the block).  ``forced`` commits a precomputed
+        choice (an installed or optimized plan) while still accruing
+        the window's real load, keeping :attr:`loads` truthful for
+        whatever schedule runs next.
 
         Degenerate windows (``active_columns == 0``) carry no device
         work: they are served by whichever shard the schedule currently
@@ -422,12 +490,19 @@ class ShardedOperator:
             raise RuntimeError(
                 "all shards are retired; the fleet has no serving capacity"
             )
-        if self.schedule == "round_robin":
+        if forced is not None:
+            if forced not in candidates:
+                raise ValueError(
+                    f"planned shard {forced} is retired or out of range"
+                )
+            index = forced
+        elif self.schedule == "round_robin":
             index = candidates[self._cursor % len(candidates)]
             if active_columns:
                 self._cursor += 1
         else:  # greedy-by-active-columns, lowest index breaks ties
-            penalties = self._staleness_penalties()
+            if penalties is None:
+                penalties = self._staleness_penalties()
             index = min(
                 candidates,
                 key=lambda i: (self._loads[i] + penalties[i], i),
@@ -435,20 +510,63 @@ class ShardedOperator:
         self._loads[index] += active_columns
         return index
 
+    def _window_actives(self, block: np.ndarray) -> list[tuple[int, int, int]]:
+        """``(start, stop, active_columns)`` per window of ``block``."""
+        return [
+            (
+                start,
+                stop,
+                int(np.count_nonzero(np.any(block[:, start:stop] != 0.0, axis=0))),
+            )
+            for start, stop in self.window_spans(block.shape[1])
+        ]
+
     def _assign_windows(self, block: np.ndarray) -> list[tuple[int, int, int]]:
         """``(start, stop, shard)`` per window, advancing scheduler state.
 
         The assignment sequence is a pure function of the block's
         per-window active-column counts and the scheduler state
-        (``loads``, cursor, staleness) at call time — no clock, RNG or
-        execution-timing input — which is what makes serial and
-        threaded dispatch schedule identically.
+        (``loads``, cursor, and the staleness/gain snapshot taken at
+        block entry) at call time — no clock, RNG or execution-timing
+        input — which is what makes serial and threaded dispatch
+        schedule identically.  An installed plan (:meth:`install_plan`)
+        is consumed here, windows verified against the block's spans.
         """
-        plan: list[tuple[int, int, int]] = []
-        for start, stop in self.window_spans(block.shape[1]):
-            active = int(np.count_nonzero(np.any(block[:, start:stop] != 0.0, axis=0)))
-            plan.append((start, stop, self._pick_shard(active)))
-        return plan
+        windows = self._window_actives(block)
+        pinned, self._pinned_plan = self._pinned_plan, None
+        if pinned is not None:
+            if [(start, stop) for start, stop, _ in pinned] != [
+                (start, stop) for start, stop, _ in windows
+            ]:
+                raise ValueError(
+                    "installed plan does not match the dispatched block: "
+                    f"planned windows {[(a, b) for a, b, _ in pinned]}, "
+                    f"block windows {[(a, b) for a, b, _ in windows]}"
+                )
+            return [
+                (start, stop, self._pick_shard(active, forced=shard))
+                for (start, stop, active), (_, _, shard) in zip(windows, pinned)
+            ]
+        if self.schedule == "optimized":
+            choices = self.optimizer.assign_windows(
+                [active for _, _, active in windows], self._shard_states()
+            )
+            return [
+                (start, stop, self._pick_shard(active, forced=choice))
+                for (start, stop, active), choice in zip(windows, choices)
+            ]
+        penalties = self._staleness_penalties()
+        return [
+            (start, stop, self._pick_shard(active, penalties=penalties))
+            for start, stop, active in windows
+        ]
+
+    def _pick_single(self, active: int) -> int:
+        """Shard for one width-1 window (caller holds the scheduler lock)."""
+        if self.schedule == "optimized":
+            choice = self.optimizer.assign_windows([active], self._shard_states())[0]
+            return self._pick_shard(active, forced=choice)
+        return self._pick_shard(active)
 
     def _assign(self, block: np.ndarray) -> list[np.ndarray]:
         """Per-shard column index arrays for one dispatched block."""
@@ -464,21 +582,70 @@ class ShardedOperator:
         """Dry-run the scheduler: the ``(start, stop, shard)`` plan for
         ``block`` without dispatching it or mutating scheduler state.
 
-        Planning then dispatching the same block yields exactly this
-        assignment (the scheduler is deterministic), so the plan is the
-        observable contract of the window→shard decision — used by the
-        schedule-purity property tests and available for admission
-        control.
+        The plan is a pure function of the block and the *current*
+        scheduler state — loads, cursor, retirement flags, **and** the
+        per-shard staleness/gain snapshot the drift-aware and optimized
+        schedules read.  That is the exact guarantee: planning then
+        dispatching yields the identical assignment *provided no
+        scheduler input changed in between*.  Time advancing between
+        plan and dispatch changes staleness, which under
+        ``schedule="drift_aware"`` (or ``"optimized"``) is a scheduler
+        input, and the dispatch may legitimately differ.  To carry a
+        plan across such a gap, pin it with :meth:`install_plan` — the
+        next dispatched block then consumes the planned choices
+        verbatim, whatever the staleness does in between.
         """
         block = np.asarray(block, dtype=float)
         if block.ndim != 2:
             raise ValueError(f"block must be 2-D (lines, B), got shape {block.shape}")
         with self._scheduler_lock:
-            loads, cursor = list(self._loads), self._cursor
+            loads, cursor, pinned = list(self._loads), self._cursor, self._pinned_plan
             try:
                 return self._assign_windows(block)
             finally:
                 self._loads, self._cursor = loads, cursor
+                self._pinned_plan = pinned
+
+    def install_plan(self, plan) -> None:
+        """Pin a precomputed ``(start, stop, shard)`` plan for the next block.
+
+        Bridges the plan→dispatch gap of :meth:`plan_assignments`: the
+        next dispatched block consumes the pinned choices verbatim —
+        bitwise the planned assignment even if staleness, gains or
+        loads moved in between — while still accruing the block's real
+        active-column loads.  One-shot: the pin is cleared when a block
+        consumes it (single-vector ``matvec``/``rmatvec`` traffic never
+        touches it).  The dispatched block's window spans must match
+        the plan's exactly; a mismatched block raises ``ValueError``
+        (with the pin already cleared, so one stray block cannot poison
+        the next).
+        """
+        validated: list[tuple[int, int, int]] = []
+        for entry in plan:
+            start, stop, shard = entry
+            if (
+                start != int(start)
+                or stop != int(stop)
+                or shard != int(shard)
+                or not 0 <= start < stop
+            ):
+                raise ValueError(
+                    f"plan entries must be (start, stop, shard) with "
+                    f"0 <= start < stop, got {entry!r}"
+                )
+            if not 0 <= shard < len(self.shards):
+                raise ValueError(
+                    f"plan names shard {shard!r}, outside "
+                    f"[0, {len(self.shards)})"
+                )
+            validated.append((int(start), int(stop), int(shard)))
+        if not validated:
+            raise ValueError("plan must contain at least one window")
+        with self._scheduler_lock:
+            for _, _, shard in validated:
+                if self._retired[shard]:
+                    raise ValueError(f"plan names retired shard {shard}")
+            self._pinned_plan = validated
 
     # -- worker management -----------------------------------------------------
     def _pool(self) -> ThreadPoolExecutor:
@@ -652,24 +819,49 @@ class ShardedOperator:
                 for owner, columns in enumerate(columns_of)
             ]
 
-        # Commit forward windows strictly in window order, each as soon
-        # as its owner's transpose read (hence its x_out columns) is
-        # ready; _pick_shard therefore sees the same state sequence the
-        # unfused matmat(X) dispatch would.
         forward: list[tuple[int, int]] = []
-        for start, stop, owner in reverse_plan:
-            if reverse_done[owner] is not None:
-                reverse_done[owner].result()
-            window = x_out[:, start:stop]
-            active = int(np.count_nonzero(np.any(window != 0.0, axis=0)))
+        if self.schedule == "optimized":
+            # The placement optimizer plans whole blocks (its objective
+            # needs every window's active count at once), so the
+            # forward phase synchronizes on all transpose reads and
+            # dispatches the planned forward block — trading the fused
+            # per-window pipeline for plan quality; shard execution
+            # still overlaps under threads.
+            for done in reverse_done:
+                if done is not None:
+                    done.result()
             with self._scheduler_lock:
-                index = self._pick_shard(active)
-            if serial:
-                q_out[:, start:stop] = self._shard_call(index, "matmat", window)
-            else:
-                forward.append(
-                    (start, pool.submit(self._shard_call, index, "matmat", window))
-                )
+                forward_plan = self._assign_windows(x_out)
+            for start, stop, index in forward_plan:
+                window = x_out[:, start:stop]
+                if serial:
+                    q_out[:, start:stop] = self._shard_call(index, "matmat", window)
+                else:
+                    forward.append(
+                        (start, pool.submit(self._shard_call, index, "matmat", window))
+                    )
+        else:
+            # Commit forward windows strictly in window order, each as
+            # soon as its owner's transpose read (hence its x_out
+            # columns) is ready; _pick_shard therefore sees the same
+            # state sequence the unfused matmat(X) dispatch would —
+            # including one frozen penalty snapshot for the whole
+            # forward block, matching what that dispatch would freeze
+            # at its own entry.
+            forward_penalties = self._staleness_penalties()
+            for start, stop, owner in reverse_plan:
+                if reverse_done[owner] is not None:
+                    reverse_done[owner].result()
+                window = x_out[:, start:stop]
+                active = int(np.count_nonzero(np.any(window != 0.0, axis=0)))
+                with self._scheduler_lock:
+                    index = self._pick_shard(active, penalties=forward_penalties)
+                if serial:
+                    q_out[:, start:stop] = self._shard_call(index, "matmat", window)
+                else:
+                    forward.append(
+                        (start, pool.submit(self._shard_call, index, "matmat", window))
+                    )
         for start, future in forward:
             result = future.result()
             q_out[:, start : start + result.shape[1]] = result
@@ -683,7 +875,7 @@ class ShardedOperator:
             raise ValueError(f"x must have shape ({n},), got {x.shape}")
         self._run_maintenance()
         with self._scheduler_lock:
-            index = self._pick_shard(int(np.any(x != 0.0)))
+            index = self._pick_single(int(np.any(x != 0.0)))
         with self._shard_locks[index]:
             return self.shards[index].matvec(x)
 
@@ -695,7 +887,7 @@ class ShardedOperator:
             raise ValueError(f"z must have shape ({m},), got {z.shape}")
         self._run_maintenance()
         with self._scheduler_lock:
-            index = self._pick_shard(int(np.any(z != 0.0)))
+            index = self._pick_single(int(np.any(z != 0.0)))
         with self._shard_locks[index]:
             return self.shards[index].rmatvec(z)
 

@@ -67,6 +67,7 @@ class AsyncFleetServer:
         self._kick: asyncio.Event | None = None
         self._drainer: asyncio.Task | None = None
         self._closed = False
+        self._failure: BaseException | None = None
 
     async def __aenter__(self) -> "AsyncFleetServer":
         self.core = FleetServer(self._fleet, _EventLoopClock(), **self._kwargs)
@@ -99,10 +100,18 @@ class AsyncFleetServer:
         Raises :class:`asyncio.QueueFull` when admission control
         rejects the request; a shed request resolves normally with
         ``status="shed"`` (and no value) — callers that need the
-        distinction check ``result.status``.
+        distinction check ``result.status``: *every* admitted request's
+        future resolves (served or shed), it never hangs.  If the
+        drainer died serving an earlier block (e.g. the fleet retired
+        its last shard mid-flight), the original error is re-raised
+        here instead of queueing work nobody will drain.
         """
         if self.core is None or self._closed:
             raise RuntimeError("AsyncFleetServer is not running")
+        if self._failure is not None:
+            raise RuntimeError(
+                "AsyncFleetServer drainer died; the server cannot serve"
+            ) from self._failure
         request = self.core.submit(vector, tenant=tenant, kind=kind)
         self._settle_new_completions()
         if request is None:
@@ -124,23 +133,37 @@ class AsyncFleetServer:
                 future.set_result(result)
 
     async def _drain_loop(self) -> None:
-        while True:
-            self.core.step()
-            self._settle_new_completions()
-            if self._closed:
-                self.core.flush()
+        # Any exception escaping a core step — a fleet with every shard
+        # retired raising on dispatch is the canonical case — must not
+        # kill the drainer silently: that would orphan every parked
+        # future and hang all awaiting callers forever.  Instead the
+        # error is recorded (so new submits fail fast), every pending
+        # future receives it, and the drainer exits cleanly so close()
+        # still joins.
+        try:
+            while True:
+                self.core.step()
                 self._settle_new_completions()
-                return
-            deadline = self.core.next_deadline_s()
-            self._kick.clear()
-            if deadline is None:
-                await self._kick.wait()
-            else:
-                delay = max(0.0, deadline - self.core.clock.now())
-                try:
-                    await asyncio.wait_for(self._kick.wait(), timeout=delay)
-                except asyncio.TimeoutError:
-                    pass
+                if self._closed:
+                    self.core.flush()
+                    self._settle_new_completions()
+                    return
+                deadline = self.core.next_deadline_s()
+                self._kick.clear()
+                if deadline is None:
+                    await self._kick.wait()
+                else:
+                    delay = max(0.0, deadline - self.core.clock.now())
+                    try:
+                        await asyncio.wait_for(self._kick.wait(), timeout=delay)
+                    except asyncio.TimeoutError:
+                        pass
+        except Exception as error:
+            self._failure = error
+            for future in self._futures.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._futures.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "running"

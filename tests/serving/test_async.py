@@ -166,3 +166,65 @@ class TestServing:
             core.tenant_stats(t)["n_matvec"] for t in core.tenants
         )
         assert total == fleet.stats["n_matvec"]
+
+
+class TestShedResolution:
+    def test_shed_request_future_resolves(self, fleet, rng):
+        """Regression: a request evicted by shed_oldest admission must
+        resolve its awaiting client with status="shed" — never hang.
+        The shed verdict is produced synchronously inside submit (the
+        drainer never sees the evicted request), so the facade has to
+        settle it there."""
+        n = fleet.shape[1]
+
+        async def scenario():
+            async with AsyncFleetServer(
+                fleet,
+                coalesce_budget_s=10.0,
+                window_service_s=0.0,
+                block_columns=64,
+                admission=AdmissionController(2, policy="shed_oldest"),
+            ) as server:
+                first = asyncio.ensure_future(
+                    server.submit(rng.standard_normal(n))
+                )
+                second = asyncio.ensure_future(
+                    server.submit(rng.standard_normal(n))
+                )
+                await asyncio.sleep(0)
+                # queue full: this arrival evicts `first`
+                third = asyncio.ensure_future(
+                    server.submit(rng.standard_normal(n))
+                )
+                shed = await asyncio.wait_for(first, timeout=5.0)
+                await server.close()
+                return shed, await second, await third
+
+        shed, second, third = run(scenario())
+        assert shed.status == "shed"
+        assert shed.value is None
+        assert second.status == "served"
+        assert third.status == "served"
+
+
+class TestDrainerFailure:
+    def test_dead_drainer_resolves_waiters_and_fails_fast(self, fleet, rng):
+        """Regression: an exception escaping the drain loop (every
+        shard retired mid-flight) must propagate to awaiting clients
+        and make later submits fail fast — not orphan their futures."""
+        n = fleet.shape[1]
+
+        async def scenario():
+            async with AsyncFleetServer(
+                fleet, coalesce_budget_s=0.0, window_service_s=0.0
+            ) as server:
+                fleet.retire_shard(0)
+                fleet.retire_shard(1)
+                with pytest.raises(RuntimeError, match="no serving capacity"):
+                    await asyncio.wait_for(
+                        server.submit(rng.standard_normal(n)), timeout=5.0
+                    )
+                with pytest.raises(RuntimeError, match="drainer died"):
+                    await server.submit(rng.standard_normal(n))
+
+        run(scenario())
